@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the src/ layout importable without installation.
+
+The canonical workflow is ``pip install -e .``; this file only exists so that
+``pytest`` also works in fully offline environments where the ``wheel``
+package needed for PEP 660 editable installs is unavailable.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

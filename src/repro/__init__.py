@@ -1,0 +1,31 @@
+"""DigiQ reproduction: a scalable digital SFQ-based quantum controller.
+
+This package reimplements, in Python, the complete system described in
+"DigiQ: A Scalable Digital Controller for Quantum Computers Using SFQ Logic"
+(HPCA 2022): the SIMD SFQ controller architecture, the quantum-physics models
+used to evaluate gate fidelity, the SFQ hardware cost model, the NISQ
+benchmark circuits and compiler, and the software-calibration layer.
+
+Subpackages
+-----------
+``repro.physics``
+    Transmon/SFQ-pulse/flux-pulse quantum dynamics and fidelity measures.
+``repro.circuits``
+    Quantum-circuit IR and the Table IV NISQ benchmark generators.
+``repro.compiler``
+    Grid mapping, SWAP routing, CZ+1q rebase, crosstalk-aware scheduling.
+``repro.hardware``
+    RSFQ cell library, netlist synthesis model, controller design-space cost
+    model, SFQ/DC current generator, fridge budgets.
+``repro.noise``
+    Qubit-variability and drift sampling.
+``repro.core``
+    The DigiQ controller itself: bitstreams, decompositions, software
+    calibration, SIMD scheduling, execution-time and error models.
+``repro.analysis``
+    Drivers that regenerate each table and figure of the paper's evaluation.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,71 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The benchmark harness and the examples share these helpers to print the
+regenerated experiment data in a readable, diff-friendly form (the same rows
+and series the paper reports).  Nothing here computes anything new — see
+:mod:`repro.analysis.tables` and :mod:`repro.analysis.figures` for the
+experiment drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[_format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(line[idx]) for line in rendered))
+        for idx, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[idx]) for idx, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def _format_value(value: object) -> str:
+    """Human-friendly formatting of one table cell."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_series(name: str, values: Iterable[float], precision: int = 4) -> str:
+    """Render a one-line numeric series (used for waveform/grid summaries)."""
+    formatted = ", ".join(f"{float(v):.{precision}g}" for v in values)
+    return f"{name}: [{formatted}]"
+
+
+def comparison_row(
+    experiment: str, paper_value: object, measured_value: object, note: str = ""
+) -> Dict[str, object]:
+    """One EXPERIMENTS.md-style row comparing a paper number with ours."""
+    return {
+        "experiment": experiment,
+        "paper": paper_value,
+        "measured": measured_value,
+        "note": note,
+    }
+
+
+def render_comparisons(rows: Sequence[Mapping[str, object]], title: str = "Paper vs measured") -> str:
+    """Render paper-vs-measured comparison rows as a table."""
+    return format_table(rows, title=title)

@@ -1,0 +1,227 @@
+"""Quantum adder benchmarks: ripple-carry (Add1) and carry-lookahead (Add2).
+
+* :func:`cuccaro_adder_circuit` — the in-place ripple-carry adder of Cuccaro,
+  Draper, Kutin and Moulton (quant-ph/0410184): ``2n + 2`` qubits, linear
+  depth, almost no gate parallelism.  This is the paper's ``Add1`` benchmark
+  (256-bit in the paper's evaluation).
+* :func:`carry_lookahead_adder_circuit` — an out-of-place carry-lookahead
+  adder in the spirit of Draper, Kutin, Rains and Svore (quant-ph/0406142):
+  carries are computed by a logarithmic-depth Brent-Kung prefix tree over
+  (generate, propagate) pairs, giving the high gate parallelism that makes it
+  the interesting SIMD stress case (``Add2``).
+
+Both builders optionally X-encode classical operand values so small instances
+can be verified end-to-end with the statevector simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..builder import CircuitBuilder, encode_integer
+from ..circuit import QuantumCircuit
+
+
+@dataclass(frozen=True)
+class AdderLayout:
+    """Qubit-register layout of a generated adder circuit.
+
+    ``sum_register`` is where the result ends up: for the ripple-carry adder
+    it aliases the ``b`` register (in-place), for the carry-lookahead adder it
+    is a dedicated output register.  ``carry_out`` holds the final carry.
+    """
+
+    a: Tuple[int, ...]
+    b: Tuple[int, ...]
+    sum_register: Tuple[int, ...]
+    carry_out: int
+
+
+# ---------------------------------------------------------------------------
+# Add1: Cuccaro ripple-carry adder
+# ---------------------------------------------------------------------------
+
+def _maj(builder: CircuitBuilder, carry: int, b: int, a: int) -> None:
+    """MAJ block: leaves the running carry in ``a``."""
+    builder.cx(a, b)
+    builder.cx(a, carry)
+    builder.ccx(carry, b, a)
+
+
+def _uma(builder: CircuitBuilder, carry: int, b: int, a: int) -> None:
+    """UMA block: restores ``a``/``carry`` and leaves the sum bit in ``b``."""
+    builder.ccx(carry, b, a)
+    builder.cx(a, carry)
+    builder.cx(carry, b)
+
+
+def cuccaro_adder_circuit(
+    num_bits: int = 256,
+    a_value: Optional[int] = None,
+    b_value: Optional[int] = None,
+) -> Tuple[QuantumCircuit, AdderLayout]:
+    """Build the in-place Cuccaro ripple-carry adder (paper benchmark Add1).
+
+    Registers: carry-in ancilla, ``a`` (unchanged), ``b`` (receives ``a + b``
+    mod ``2**n``), carry-out qubit.  Total qubits: ``2 * num_bits + 2``.
+    """
+    if num_bits < 1:
+        raise ValueError("the adder needs at least one bit")
+    builder = CircuitBuilder(name=f"add1_ripple_{num_bits}")
+    carry_in = builder.allocate_one("cin")
+    a = builder.allocate(num_bits, "a")
+    b = builder.allocate(num_bits, "b")
+    carry_out = builder.allocate_one("cout")
+
+    if a_value is not None:
+        encode_integer(builder, a, a_value)
+    if b_value is not None:
+        encode_integer(builder, b, b_value)
+
+    _maj(builder, carry_in, b[0], a[0])
+    for i in range(1, num_bits):
+        _maj(builder, a[i - 1], b[i], a[i])
+    builder.cx(a[num_bits - 1], carry_out)
+    for i in range(num_bits - 1, 0, -1):
+        _uma(builder, a[i - 1], b[i], a[i])
+    _uma(builder, carry_in, b[0], a[0])
+
+    layout = AdderLayout(
+        a=tuple(a), b=tuple(b), sum_register=tuple(b), carry_out=carry_out
+    )
+    return builder.build(), layout
+
+
+# ---------------------------------------------------------------------------
+# Add2: carry-lookahead adder (Brent-Kung prefix tree)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _GPNode:
+    """A (generate, propagate) pair for a contiguous bit segment."""
+
+    generate: int
+    propagate: int
+
+
+def _combine(builder: CircuitBuilder, low: _GPNode, high: _GPNode) -> _GPNode:
+    """Combine two adjacent segments (low: less-significant) into a new node.
+
+    ``G = G_high XOR (P_high AND G_low)`` (XOR equals OR here because a
+    segment cannot simultaneously generate and propagate) and
+    ``P = P_high AND P_low``, written into fresh ancillas so the operation is
+    trivially uncomputable by gate reversal.
+    """
+    g_new = builder.allocate_one("G")
+    p_new = builder.allocate_one("P")
+    builder.cx(high.generate, g_new)
+    builder.ccx(high.propagate, low.generate, g_new)
+    builder.ccx(high.propagate, low.propagate, p_new)
+    return _GPNode(generate=g_new, propagate=p_new)
+
+
+def _prefix_generates(builder: CircuitBuilder, nodes: List[_GPNode]) -> List[int]:
+    """Brent-Kung prefix computation.
+
+    Given per-position (g, p) nodes for positions ``0 .. n-1``, return a qubit
+    per position holding the *prefix generate* ``G[0..i]`` — i.e. the carry
+    into position ``i + 1``.  Runs in logarithmic depth and allocates O(n)
+    ancillas; every gate is self-inverse so the caller can uncompute the whole
+    computation by reversing the gate list.
+    """
+    n = len(nodes)
+    if n == 1:
+        return [nodes[0].generate]
+
+    # Pair adjacent positions.
+    paired: List[_GPNode] = []
+    for k in range(n // 2):
+        paired.append(_combine(builder, nodes[2 * k], nodes[2 * k + 1]))
+
+    inner = _prefix_generates(builder, paired)
+
+    prefixes: List[int] = [0] * n
+    prefixes[0] = nodes[0].generate
+    for k in range(n // 2):
+        # Odd positions get the paired node's prefix directly.
+        prefixes[2 * k + 1] = inner[k]
+    for k in range(1, (n + 1) // 2):
+        # Even positions 2k combine their own (g, p) with the prefix of 2k-1.
+        position = 2 * k
+        if position >= n:
+            break
+        carry = builder.allocate_one("C")
+        builder.cx(nodes[position].generate, carry)
+        builder.ccx(nodes[position].propagate, prefixes[position - 1], carry)
+        prefixes[position] = carry
+    if n % 2 == 1 and n > 1:
+        # The last (odd count) position was handled by the loop above.
+        pass
+    return prefixes
+
+
+def carry_lookahead_adder_circuit(
+    num_bits: int = 64,
+    a_value: Optional[int] = None,
+    b_value: Optional[int] = None,
+) -> Tuple[QuantumCircuit, AdderLayout]:
+    """Build an out-of-place carry-lookahead adder (paper benchmark Add2).
+
+    The sum ``a + b`` is written into a dedicated ``num_bits + 1``-bit output
+    register (the extra bit is the carry out); the operand registers and all
+    scratch ancillas are returned to their initial state.  Qubit count is
+    roughly ``6 * num_bits``; the default width is chosen so the instance fits
+    a 1024-qubit device, and the paper-scale 256-bit instance can be requested
+    explicitly.
+    """
+    if num_bits < 1:
+        raise ValueError("the adder needs at least one bit")
+    builder = CircuitBuilder(name=f"add2_lookahead_{num_bits}")
+    a = builder.allocate(num_bits, "a")
+    b = builder.allocate(num_bits, "b")
+    sum_register = builder.allocate(num_bits + 1, "s")
+
+    if a_value is not None:
+        encode_integer(builder, a, a_value)
+    if b_value is not None:
+        encode_integer(builder, b, b_value)
+
+    scratch_start = builder.checkpoint()
+
+    # Generate and propagate bits.
+    g_bits = builder.allocate(num_bits, "g")
+    p_bits = builder.allocate(num_bits, "p")
+    for i in range(num_bits):
+        builder.ccx(a[i], b[i], g_bits[i])
+        builder.cx(a[i], p_bits[i])
+        builder.cx(b[i], p_bits[i])
+
+    nodes = [_GPNode(generate=g_bits[i], propagate=p_bits[i]) for i in range(num_bits)]
+    prefixes = _prefix_generates(builder, nodes)
+
+    # Write the sum: s_i = p_i XOR carry_i, with carry_0 = 0 and
+    # carry_i = prefix_generate[i-1]; the top bit is the carry out.
+    builder.cx(p_bits[0], sum_register[0])
+    for i in range(1, num_bits):
+        builder.cx(p_bits[i], sum_register[i])
+        builder.cx(prefixes[i - 1], sum_register[i])
+    builder.cx(prefixes[num_bits - 1], sum_register[num_bits])
+
+    # Uncompute every scratch qubit (g, p, prefix tree) but keep the sum:
+    # reverse only the gates recorded after the operands were encoded and
+    # before the sum was written.  The sum writes commute with nothing we
+    # uncompute (they only *read* scratch qubits), so replay the scratch
+    # segment in reverse excluding the sum writes.
+    sum_write_count = 2 * num_bits
+    scratch_gates = builder._gates[scratch_start : builder.checkpoint() - sum_write_count]
+    for gate in reversed(scratch_gates):
+        builder.append_gates([gate])
+
+    layout = AdderLayout(
+        a=tuple(a),
+        b=tuple(b),
+        sum_register=tuple(sum_register),
+        carry_out=sum_register[num_bits],
+    )
+    return builder.build(), layout

@@ -1,0 +1,245 @@
+"""Square-root-via-Grover benchmark (paper benchmark ``Sqrt10``).
+
+The circuit searches for the ``m``-bit integer ``y`` whose square equals a
+given ``2m``-bit radicand ``N`` (the paper's instance is a 10-bit radicand,
+i.e. ``m = 5``).  Each Grover iteration applies:
+
+* an arithmetic oracle that computes ``y^2`` into an accumulator with a
+  reversible shift-and-add multiplier, compares it against ``N`` and applies a
+  phase flip on equality, then uncomputes the arithmetic; and
+* the standard diffusion (inversion about the mean) operator on the ``y``
+  register.
+
+The arithmetic is built from Toffoli partial products and Cuccaro ripple
+additions, so the benchmark is Toffoli/CZ heavy and moderately parallel —
+matching its role in the paper's Fig. 9 (little benefit from larger BS).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..builder import CircuitBuilder
+from ..circuit import QuantumCircuit
+
+
+@dataclass(frozen=True)
+class GroverSqrtLayout:
+    """Register layout of the generated circuit (``y`` holds the answer)."""
+
+    y: Tuple[int, ...]
+    accumulator: Tuple[int, ...]
+
+
+def grover_sqrt_circuit(
+    radicand: int = 841,
+    num_result_bits: int = 5,
+    num_iterations: Optional[int] = None,
+) -> Tuple[QuantumCircuit, GroverSqrtLayout]:
+    """Build a Grover search for ``y`` with ``y^2 == radicand``.
+
+    Parameters
+    ----------
+    radicand:
+        The classical value ``N`` whose square root is sought.  Must fit in
+        ``2 * num_result_bits`` bits.  The paper's instance is a 10-bit value.
+    num_result_bits:
+        Width ``m`` of the search register ``y``.
+    num_iterations:
+        Number of Grover iterations; defaults to the optimal
+        ``round(pi/4 * sqrt(2^m))`` for a single marked element.
+    """
+    if num_result_bits < 1:
+        raise ValueError("need at least one result bit")
+    acc_bits = 2 * num_result_bits
+    if not 0 <= radicand < (1 << acc_bits):
+        raise ValueError(f"radicand {radicand} does not fit in {acc_bits} bits")
+    if num_iterations is None:
+        num_iterations = max(1, int(math.pi / 4.0 * math.sqrt(2**num_result_bits)))
+
+    builder = CircuitBuilder(name=f"sqrt{acc_bits}_grover")
+    y = builder.allocate(num_result_bits, "y")
+    acc = builder.allocate(acc_bits, "acc")
+    partial = builder.allocate(num_result_bits, "pp")
+    zero_pad = builder.allocate(num_result_bits, "pad")
+    carry_in = builder.allocate_one("cin")
+    carry_out = builder.allocate_one("cout")
+    mcx_scratch = builder.allocate(max(acc_bits, num_result_bits), "mcx")
+
+    # Uniform superposition over candidate roots.
+    for qubit in y:
+        builder.h(qubit)
+
+    for _ in range(num_iterations):
+        _square_oracle(
+            builder, y, acc, partial, zero_pad, carry_in, carry_out, mcx_scratch, radicand
+        )
+        _diffusion(builder, y, mcx_scratch)
+
+    layout = GroverSqrtLayout(y=tuple(y), accumulator=tuple(acc))
+    return builder.build(), layout
+
+
+# ---------------------------------------------------------------------------
+# Oracle: phase flip iff y^2 == radicand
+# ---------------------------------------------------------------------------
+
+def _square_oracle(
+    builder: CircuitBuilder,
+    y: Sequence[int],
+    acc: Sequence[int],
+    partial: Sequence[int],
+    zero_pad: Sequence[int],
+    carry_in: int,
+    carry_out: int,
+    mcx_scratch: Sequence[int],
+    radicand: int,
+) -> None:
+    """Compute y^2, phase-flip on equality with ``radicand``, uncompute."""
+    compute_start = builder.checkpoint()
+    _square_into_accumulator(builder, y, acc, partial, zero_pad, carry_in, carry_out)
+    compute_end = builder.checkpoint()
+
+    # Map |acc == radicand> to |11...1> by flipping the bits that should be 0.
+    for position, qubit in enumerate(acc):
+        if not (radicand >> position) & 1:
+            builder.x(qubit)
+    _multi_controlled_z(builder, list(acc), mcx_scratch)
+    for position, qubit in enumerate(acc):
+        if not (radicand >> position) & 1:
+            builder.x(qubit)
+
+    # Uncompute the multiplier.
+    for gate in reversed(builder._gates[compute_start:compute_end]):
+        builder.append_gates([gate])
+
+
+def _square_into_accumulator(
+    builder: CircuitBuilder,
+    y: Sequence[int],
+    acc: Sequence[int],
+    partial: Sequence[int],
+    zero_pad: Sequence[int],
+    carry_in: int,
+    carry_out: int,
+) -> None:
+    """Shift-and-add squarer: acc += (y << i) for every set bit y_i of y."""
+    m = len(y)
+
+    def write_partial_products(i: int) -> None:
+        # Partial product (y_i AND y_j) for every j; the diagonal term is just
+        # a copy since y_i AND y_i == y_i.
+        for j in range(m):
+            if i == j:
+                builder.cx(y[i], partial[j])
+            else:
+                builder.ccx(y[i], y[j], partial[j])
+
+    for i in range(m):
+        write_partial_products(i)
+        # Ripple-add `partial` (zero-extended) into acc[i:], so carries can
+        # propagate all the way to the top of the accumulator.
+        operand = list(partial) + list(zero_pad[: len(acc) - i - m])
+        target = list(acc[i:])
+        _ripple_add(builder, operand, target, carry_in, carry_out)
+        # Uncompute the partial products so `partial` can be reused.
+        write_partial_products(i)
+
+
+def _ripple_add(
+    builder: CircuitBuilder,
+    operand: Sequence[int],
+    target: Sequence[int],
+    carry_in: int,
+    carry_out: int,
+) -> None:
+    """In-place Cuccaro addition ``target += operand`` (equal widths).
+
+    The carry-out is written to ``carry_out`` (must start in |0>) and then the
+    MAJ chain is reversed with UMA blocks, restoring ``operand``, ``carry_in``
+    and ``carry_out``... except ``carry_out``: for the squarer the operand is
+    sized so the addition never overflows, hence ``carry_out`` always returns
+    to |0> and can be reused by later additions.
+    """
+    width = min(len(operand), len(target))
+    operand = list(operand[:width])
+    target = list(target[:width])
+
+    def maj(c, b, a):
+        builder.cx(a, b)
+        builder.cx(a, c)
+        builder.ccx(c, b, a)
+
+    def uma(c, b, a):
+        builder.ccx(c, b, a)
+        builder.cx(a, c)
+        builder.cx(c, b)
+
+    maj(carry_in, target[0], operand[0])
+    for i in range(1, width):
+        maj(operand[i - 1], target[i], operand[i])
+    builder.cx(operand[width - 1], carry_out)
+    for i in range(width - 1, 0, -1):
+        uma(operand[i - 1], target[i], operand[i])
+    uma(carry_in, target[0], operand[0])
+    # carry_out is left untouched here; see docstring.
+
+
+# ---------------------------------------------------------------------------
+# Diffusion operator and multi-controlled gates
+# ---------------------------------------------------------------------------
+
+def _diffusion(builder: CircuitBuilder, y: Sequence[int], scratch: Sequence[int]) -> None:
+    """Inversion about the mean on the ``y`` register."""
+    for qubit in y:
+        builder.h(qubit)
+    for qubit in y:
+        builder.x(qubit)
+    _multi_controlled_z(builder, list(y), scratch)
+    for qubit in y:
+        builder.x(qubit)
+    for qubit in y:
+        builder.h(qubit)
+
+
+def _multi_controlled_z(builder: CircuitBuilder, qubits: List[int], scratch: Sequence[int]) -> None:
+    """Phase flip on |11...1> over ``qubits`` using a Toffoli ladder."""
+    if len(qubits) == 1:
+        builder.z(qubits[0])
+        return
+    if len(qubits) == 2:
+        builder.cz(qubits[0], qubits[1])
+        return
+    controls, target = qubits[:-1], qubits[-1]
+    builder.h(target)
+    _multi_controlled_x(builder, controls, target, scratch)
+    builder.h(target)
+
+
+def _multi_controlled_x(
+    builder: CircuitBuilder, controls: List[int], target: int, scratch: Sequence[int]
+) -> None:
+    """Multi-controlled X via the standard compute/uncompute Toffoli ladder."""
+    k = len(controls)
+    if k == 1:
+        builder.cx(controls[0], target)
+        return
+    if k == 2:
+        builder.ccx(controls[0], controls[1], target)
+        return
+    needed = k - 2
+    if needed > len(scratch):
+        raise ValueError(
+            f"multi-controlled X over {k} controls needs {needed} scratch qubits, "
+            f"got {len(scratch)}"
+        )
+    ladder_start = builder.checkpoint()
+    builder.ccx(controls[0], controls[1], scratch[0])
+    for i in range(2, k - 1):
+        builder.ccx(controls[i], scratch[i - 2], scratch[i - 1])
+    ladder_end = builder.checkpoint()
+    builder.ccx(controls[k - 1], scratch[k - 3], target)
+    for gate in reversed(builder._gates[ladder_start:ladder_end]):
+        builder.append_gates([gate])

@@ -1,0 +1,78 @@
+"""QGAN benchmark: quantum generative-adversarial-learning ansatz.
+
+The paper's QGAN benchmark [Lloyd & Weedbrook, PRL 121, 040502] is a
+variational circuit: a *generator* ansatz prepares a candidate distribution
+and a *discriminator* ansatz processes the generator output together with a
+bank of data qubits.  As in most NISQ evaluations, what matters to the
+controller study is the circuit's structure — dense layers of parameterised
+single-qubit rotations interleaved with entangling gates across all qubits —
+because that structure produces high gate parallelism (which is exactly what
+stresses a SIMD controller).
+
+The generator/discriminator split is configurable; parameters are sampled
+reproducibly from a seed, mimicking one training step's circuit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit import QuantumCircuit
+
+
+def qgan_circuit(
+    num_qubits: int = 32,
+    num_layers: int = 4,
+    discriminator_fraction: float = 0.5,
+    seed: int = 7,
+) -> QuantumCircuit:
+    """Build one QGAN training-step circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total number of qubits (generator + discriminator register).
+    num_layers:
+        Number of rotation+entanglement layers in each ansatz.
+    discriminator_fraction:
+        Fraction of qubits assigned to the discriminator register.
+    seed:
+        Seed for the variational parameters.
+    """
+    if num_qubits < 2:
+        raise ValueError("QGAN needs at least 2 qubits")
+    if num_layers < 1:
+        raise ValueError("QGAN needs at least one layer")
+    if not 0.0 < discriminator_fraction < 1.0:
+        raise ValueError("discriminator_fraction must be in (0, 1)")
+
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"qgan_{num_qubits}")
+
+    num_disc = max(1, int(round(num_qubits * discriminator_fraction)))
+    num_gen = num_qubits - num_disc
+    if num_gen < 1:
+        num_gen, num_disc = 1, num_qubits - 1
+    generator_qubits = list(range(num_gen))
+    discriminator_qubits = list(range(num_gen, num_qubits))
+
+    _ansatz(circuit, generator_qubits, num_layers, rng)
+    _ansatz(circuit, discriminator_qubits, num_layers, rng)
+    # Discriminator reads the generator output: entangle across the boundary.
+    for offset, gen_qubit in enumerate(generator_qubits):
+        disc_qubit = discriminator_qubits[offset % len(discriminator_qubits)]
+        circuit.cx(gen_qubit, disc_qubit)
+    _ansatz(circuit, discriminator_qubits, max(1, num_layers // 2), rng)
+    return circuit
+
+
+def _ansatz(circuit: QuantumCircuit, qubits, num_layers: int, rng: np.random.Generator) -> None:
+    """Hardware-efficient ansatz: RY/RZ rotations + linear entangling layer."""
+    for _ in range(num_layers):
+        for qubit in qubits:
+            circuit.ry(float(rng.uniform(0, 2 * np.pi)), qubit)
+            circuit.rz(float(rng.uniform(0, 2 * np.pi)), qubit)
+        for first, second in zip(qubits[:-1], qubits[1:]):
+            circuit.cz(first, second)
+    for qubit in qubits:
+        circuit.ry(float(rng.uniform(0, 2 * np.pi)), qubit)

@@ -1,0 +1,72 @@
+"""Gate-level intermediate representation.
+
+A :class:`Gate` is an immutable record of a named operation applied to one or
+more qubits, optionally with real-valued parameters (rotation angles).  The
+set of known gate names, their arities and parameter counts live in
+:mod:`repro.circuits.library`; the IR itself is agnostic so that compiler
+passes can introduce intermediate gates (e.g. ``u3`` or ``swap``) freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One quantum operation in a circuit.
+
+    Attributes
+    ----------
+    name:
+        Lower-case gate name (e.g. ``"h"``, ``"cz"``, ``"rz"``).
+    qubits:
+        Indices of the qubits the gate acts on, in application order.
+    params:
+        Real parameters (rotation angles, in radians).
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.lower())
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        if not self.qubits:
+            raise ValueError(f"gate '{self.name}' must act on at least one qubit")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(
+                f"gate '{self.name}' has duplicate qubit operands: {self.qubits}"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits this gate acts on."""
+        return len(self.qubits)
+
+    @property
+    def is_single_qubit(self) -> bool:
+        """True for one-qubit gates."""
+        return self.num_qubits == 1
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for two-qubit gates."""
+        return self.num_qubits == 2
+
+    def remapped(self, mapping) -> "Gate":
+        """A copy of this gate with qubit indices remapped through ``mapping``.
+
+        ``mapping`` may be a dict or any object supporting ``__getitem__``.
+        """
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        params = ""
+        if self.params:
+            params = "(" + ", ".join(f"{p:.4g}" for p in self.params) + ")"
+        qubits = ", ".join(str(q) for q in self.qubits)
+        return f"{self.name}{params} q[{qubits}]"

@@ -1,0 +1,137 @@
+"""Small statevector simulator used for functional verification.
+
+This simulator is deliberately simple: dense statevector, little-endian
+ordering (qubit 0 is the least-significant basis-index bit), no noise.  It is
+used by the test suite to check that benchmark generators and compiler passes
+preserve circuit semantics on small instances, and by the examples to show
+end-to-end correctness of compiled circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gate import Gate
+from .library import gate_matrix
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """The all-zeros computational basis state."""
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def basis_state_index(bits: Sequence[int]) -> int:
+    """Index of the basis state with the given per-qubit bits (qubit 0 first)."""
+    index = 0
+    for position, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit}")
+        index |= bit << position
+    return index
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one gate to a statevector and return the new statevector."""
+    matrix = gate_matrix(gate)
+    targets = gate.qubits
+    k = len(targets)
+    state = np.asarray(state, dtype=complex).reshape([2] * num_qubits)
+    # numpy tensor axes: axis 0 corresponds to the most significant qubit
+    # (qubit num_qubits-1) because of how reshape orders bits; convert.
+    axes = [num_qubits - 1 - q for q in targets]
+    # Move target axes to the front, apply the matrix, move them back.
+    state = np.moveaxis(state, axes, range(k))
+    original_shape = state.shape
+    state = state.reshape(2**k, -1)
+    # gate_matrix uses little-endian ordering of gate.qubits (operand 0 is the
+    # least-significant bit); after moveaxis, operand 0 is the most-significant
+    # axis of the 2**k block, so reverse the bit order of the matrix.
+    matrix = _reverse_bit_order(matrix, k)
+    state = matrix @ state
+    state = state.reshape(original_shape)
+    state = np.moveaxis(state, range(k), axes)
+    return state.reshape(-1)
+
+
+def _reverse_bit_order(matrix: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Permute a 2**k x 2**k matrix to reverse its qubit bit-ordering."""
+    if num_qubits == 1:
+        return matrix
+    dim = 2**num_qubits
+    perm = np.zeros(dim, dtype=int)
+    for idx in range(dim):
+        reversed_idx = 0
+        for bit in range(num_qubits):
+            if idx & (1 << bit):
+                reversed_idx |= 1 << (num_qubits - 1 - bit)
+        perm[idx] = reversed_idx
+    return matrix[np.ix_(perm, perm)]
+
+
+def simulate(circuit: QuantumCircuit, initial_state: Optional[np.ndarray] = None) -> np.ndarray:
+    """Run a circuit on a statevector and return the final state."""
+    if circuit.num_qubits > 24:
+        raise ValueError(
+            f"statevector simulation of {circuit.num_qubits} qubits is not supported; "
+            "this simulator exists for functional verification of small circuits"
+        )
+    state = zero_state(circuit.num_qubits) if initial_state is None else (
+        np.asarray(initial_state, dtype=complex).copy()
+    )
+    if state.shape != (2**circuit.num_qubits,):
+        raise ValueError(
+            f"initial state has dimension {state.shape}, expected {(2**circuit.num_qubits,)}"
+        )
+    for gate in circuit:
+        state = apply_gate(state, gate, circuit.num_qubits)
+    return state
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Full unitary of a (small) circuit, little-endian ordering."""
+    if circuit.num_qubits > 10:
+        raise ValueError("circuit_unitary supports at most 10 qubits")
+    dim = 2**circuit.num_qubits
+    unitary = np.zeros((dim, dim), dtype=complex)
+    for column in range(dim):
+        state = np.zeros(dim, dtype=complex)
+        state[column] = 1.0
+        unitary[:, column] = simulate(circuit, initial_state=state)
+    return unitary
+
+
+def measure_probabilities(state: np.ndarray) -> np.ndarray:
+    """Measurement probability of each computational basis state."""
+    state = np.asarray(state, dtype=complex)
+    probs = np.abs(state) ** 2
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("state has zero norm")
+    return probs / total
+
+
+def sample_counts(state: np.ndarray, shots: int, seed: Optional[int] = None) -> Dict[str, int]:
+    """Sample measurement outcomes; keys are bitstrings with qubit 0 rightmost."""
+    probs = measure_probabilities(state)
+    num_qubits = int(np.log2(probs.size))
+    rng = np.random.default_rng(seed)
+    outcomes = rng.choice(probs.size, size=shots, p=probs)
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        key = format(outcome, f"0{num_qubits}b")
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def dominant_bitstring(state: np.ndarray) -> str:
+    """The most probable measurement outcome (qubit 0 rightmost)."""
+    probs = measure_probabilities(state)
+    num_qubits = int(np.log2(probs.size))
+    return format(int(np.argmax(probs)), f"0{num_qubits}b")

@@ -1,0 +1,34 @@
+"""Compilation substrate: grid coupling maps, routing, rebasing, scheduling."""
+
+from .basis import (
+    count_basis_violations,
+    decompose_to_two_qubit_gates,
+    fuse_single_qubit_runs,
+    rebase_to_cz_basis,
+)
+from .coupling import GridCouplingMap, smallest_grid_for
+from .layout import Layout, build_layout, snake_layout, trivial_layout
+from .pipeline import CompiledCircuit, compile_circuit
+from .routing import RoutingResult, route_circuit
+from .scheduling import Moment, Schedule, asap_schedule, crosstalk_aware_schedule
+
+__all__ = [
+    "CompiledCircuit",
+    "GridCouplingMap",
+    "Layout",
+    "Moment",
+    "RoutingResult",
+    "Schedule",
+    "asap_schedule",
+    "build_layout",
+    "compile_circuit",
+    "count_basis_violations",
+    "crosstalk_aware_schedule",
+    "decompose_to_two_qubit_gates",
+    "fuse_single_qubit_runs",
+    "rebase_to_cz_basis",
+    "route_circuit",
+    "smallest_grid_for",
+    "snake_layout",
+    "trivial_layout",
+]

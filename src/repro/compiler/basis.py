@@ -1,0 +1,185 @@
+"""Basis translation passes.
+
+Two passes are provided:
+
+* :func:`decompose_to_two_qubit_gates` — expands three-qubit gates (Toffoli,
+  CCZ) into the standard CX/T network so the router only ever sees one- and
+  two-qubit gates.
+* :func:`rebase_to_cz_basis` — rewrites every remaining gate into the DigiQ
+  hardware basis: arbitrary single-qubit ``u3`` rotations plus ``cz``
+  (Sec. VI-B: "each circuit is then decomposed into CZ and single-qubit
+  gates").  Runs of adjacent single-qubit gates on the same qubit are fused
+  into a single ``u3`` so each circuit "moment" carries at most one
+  single-qubit gate per qubit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gate import Gate
+from ..circuits.library import gate_matrix
+from ..physics.rotations import zyz_angles
+
+
+def decompose_to_two_qubit_gates(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Expand gates acting on three qubits into one- and two-qubit gates."""
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.num_qubits <= 2:
+            out.append(gate)
+        elif gate.name == "ccx":
+            _append_toffoli(out, *gate.qubits)
+        elif gate.name == "ccz":
+            control_a, control_b, target = gate.qubits
+            out.h(target)
+            _append_toffoli(out, control_a, control_b, target)
+            out.h(target)
+        else:
+            raise ValueError(f"no two-qubit decomposition rule for gate '{gate.name}'")
+    return out
+
+
+def _append_toffoli(circuit: QuantumCircuit, c0: int, c1: int, target: int) -> None:
+    """Standard 6-CX Toffoli decomposition."""
+    circuit.h(target)
+    circuit.cx(c1, target)
+    circuit.tdg(target)
+    circuit.cx(c0, target)
+    circuit.t(target)
+    circuit.cx(c1, target)
+    circuit.tdg(target)
+    circuit.cx(c0, target)
+    circuit.t(c1)
+    circuit.t(target)
+    circuit.h(target)
+    circuit.cx(c0, c1)
+    circuit.t(c0)
+    circuit.tdg(c1)
+    circuit.cx(c0, c1)
+
+
+def rebase_to_cz_basis(circuit: QuantumCircuit, fuse: bool = True) -> QuantumCircuit:
+    """Rewrite a (<=2-qubit-gate) circuit into the {u3, cz} basis.
+
+    Two-qubit rules::
+
+        cx(c, t)   ->  h(t) cz(c, t) h(t)
+        swap(a, b) ->  3 alternated cx, each rebased
+        rzz(th)    ->  cx(a, b) rz(th, b) cx(a, b), each cx rebased
+        cp(th)     ->  rz(th/2, a) rz(th/2, b) + rzz(-th/2) identity, rebased
+
+    If ``fuse`` is true, runs of single-qubit gates on the same qubit are
+    collapsed into one ``u3``.
+    """
+    expanded = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        _rebase_gate(expanded, gate)
+    if fuse:
+        return fuse_single_qubit_runs(expanded)
+    return expanded
+
+
+def _rebase_gate(out: QuantumCircuit, gate: Gate) -> None:
+    if gate.is_single_qubit:
+        out.append(gate)
+        return
+    name = gate.name
+    if name == "cz":
+        out.append(gate)
+        return
+    if name == "cx":
+        control, target = gate.qubits
+        out.h(target)
+        out.cz(control, target)
+        out.h(target)
+        return
+    if name == "swap":
+        a, b = gate.qubits
+        for control, target in ((a, b), (b, a), (a, b)):
+            out.h(target)
+            out.cz(control, target)
+            out.h(target)
+        return
+    if name == "rzz":
+        a, b = gate.qubits
+        theta = gate.params[0]
+        _rebase_gate(out, Gate("cx", (a, b)))
+        out.rz(theta, b)
+        _rebase_gate(out, Gate("cx", (a, b)))
+        return
+    if name == "cp":
+        a, b = gate.qubits
+        theta = gate.params[0]
+        out.rz(theta / 2.0, a)
+        _rebase_gate(out, Gate("cx", (a, b)))
+        out.rz(-theta / 2.0, b)
+        _rebase_gate(out, Gate("cx", (a, b)))
+        out.rz(theta / 2.0, b)
+        return
+    if name == "iswap":
+        a, b = gate.qubits
+        # iswap = (S ⊗ S) . H_a . CZ . H_a H_b . CZ . H_b  (standard identity)
+        out.s(a)
+        out.s(b)
+        out.h(a)
+        out.cz(a, b)
+        out.h(a)
+        out.h(b)
+        out.cz(a, b)
+        out.h(b)
+        return
+    raise ValueError(f"no CZ-basis rule for two-qubit gate '{gate.name}'")
+
+
+def fuse_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse consecutive single-qubit gates on each qubit into one ``u3``.
+
+    Single-qubit gates that multiply to the identity (within tolerance) are
+    dropped entirely.
+    """
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    pending: Dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        gate = _u3_gate_from_matrix(matrix, qubit)
+        if gate is not None:
+            out.append(gate)
+
+    for gate in circuit:
+        if gate.is_single_qubit:
+            qubit = gate.qubits[0]
+            matrix = gate_matrix(gate)
+            pending[qubit] = matrix @ pending.get(qubit, np.eye(2, dtype=complex))
+        else:
+            for qubit in gate.qubits:
+                flush(qubit)
+            out.append(gate)
+    for qubit in sorted(pending):
+        flush(qubit)
+    return out
+
+
+def _u3_gate_from_matrix(matrix: np.ndarray, qubit: int, tol: float = 1e-9) -> Optional[Gate]:
+    """Convert an accumulated 2x2 unitary into a ``u3`` (or ``rz``) gate."""
+    alpha, theta, beta = zyz_angles(matrix)
+    if abs(theta) < tol:
+        phase = alpha + beta
+        if abs(math.remainder(phase, 2.0 * math.pi)) < tol:
+            return None
+        return Gate("rz", (qubit,), (phase,))
+    # U3(theta, phi, lam) ~ Rz(phi) Ry(theta) Rz(lam) with phi=beta, lam=alpha.
+    return Gate("u3", (qubit,), (theta, beta, alpha))
+
+
+def count_basis_violations(circuit: QuantumCircuit, basis=("u3", "rz", "cz")) -> int:
+    """Number of gates outside the given basis (0 means fully rebased)."""
+    allowed = {name.lower() for name in basis}
+    return sum(1 for gate in circuit if gate.name not in allowed)

@@ -1,0 +1,151 @@
+"""Device coupling maps.
+
+The paper maps every benchmark onto a 32x32 square grid of qubits
+(Sec. VI-B).  :class:`GridCouplingMap` models that device: qubits are
+addressed row-major, couplers connect nearest neighbours, and shortest-path
+queries (used by the SWAP router) exploit the grid structure for speed while a
+generic networkx graph is still exposed for analyses that want it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, List, Sequence, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class GridCouplingMap:
+    """A rectangular nearest-neighbour coupling map.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions; the paper's device is 32 x 32.
+    """
+
+    rows: int = 32
+    cols: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid dimensions must be positive")
+
+    # -- basic queries ------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of physical qubits."""
+        return self.rows * self.cols
+
+    def index(self, row: int, col: int) -> int:
+        """Physical qubit index of grid position (row, col)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"position ({row}, {col}) outside {self.rows}x{self.cols} grid")
+        return row * self.cols + col
+
+    def position(self, qubit: int) -> Tuple[int, int]:
+        """Grid position (row, col) of a physical qubit index."""
+        if not 0 <= qubit < self.num_qubits:
+            raise ValueError(f"qubit {qubit} outside device of {self.num_qubits} qubits")
+        return divmod(qubit, self.cols)
+
+    def neighbors(self, qubit: int) -> List[int]:
+        """Physical qubits directly coupled to ``qubit``."""
+        row, col = self.position(qubit)
+        result = []
+        if row > 0:
+            result.append(self.index(row - 1, col))
+        if row < self.rows - 1:
+            result.append(self.index(row + 1, col))
+        if col > 0:
+            result.append(self.index(row, col - 1))
+        if col < self.cols - 1:
+            result.append(self.index(row, col + 1))
+        return result
+
+    def are_coupled(self, a: int, b: int) -> bool:
+        """True if two physical qubits share a coupler."""
+        return self.distance(a, b) == 1
+
+    def distance(self, a: int, b: int) -> int:
+        """Coupling-graph distance (Manhattan distance on the grid)."""
+        ra, ca = self.position(a)
+        rb, cb = self.position(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """One shortest path from ``a`` to ``b`` (inclusive), row-first then column."""
+        ra, ca = self.position(a)
+        rb, cb = self.position(b)
+        path = [a]
+        row, col = ra, ca
+        while row != rb:
+            row += 1 if rb > row else -1
+            path.append(self.index(row, col))
+        while col != cb:
+            col += 1 if cb > col else -1
+            path.append(self.index(row, col))
+        return path
+
+    # -- couplers -----------------------------------------------------------------
+
+    def couplers(self) -> List[Tuple[int, int]]:
+        """All couplers as sorted (low, high) qubit index pairs."""
+        result = []
+        for row in range(self.rows):
+            for col in range(self.cols):
+                qubit = self.index(row, col)
+                if col < self.cols - 1:
+                    result.append((qubit, self.index(row, col + 1)))
+                if row < self.rows - 1:
+                    result.append((qubit, self.index(row + 1, col)))
+        return result
+
+    @property
+    def num_couplers(self) -> int:
+        """Number of couplers (2 * rows * cols - rows - cols for a grid)."""
+        return 2 * self.rows * self.cols - self.rows - self.cols
+
+    def coupler_neighbors(self, coupler: Tuple[int, int]) -> List[Tuple[int, int]]:
+        """Couplers adjacent to (sharing a qubit with) the given coupler.
+
+        Used by the crosstalk-aware scheduler: two CZ gates on adjacent
+        couplers interfere and must not execute simultaneously.
+        """
+        a, b = coupler
+        adjacent = []
+        for qubit in (a, b):
+            for neighbor in self.neighbors(qubit):
+                other = tuple(sorted((qubit, neighbor)))
+                if other != tuple(sorted(coupler)):
+                    adjacent.append(other)
+        return adjacent
+
+    # -- graph view ---------------------------------------------------------------
+
+    @cached_property
+    def graph(self) -> nx.Graph:
+        """The coupling map as a networkx graph (nodes are qubit indices)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self.couplers())
+        return graph
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_qubits))
+
+
+def smallest_grid_for(num_qubits: int) -> GridCouplingMap:
+    """The smallest (near-)square grid holding at least ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be positive")
+    cols = 1
+    while cols * cols < num_qubits:
+        cols += 1
+    rows = cols
+    while (rows - 1) * cols >= num_qubits:
+        rows -= 1
+    return GridCouplingMap(rows=rows, cols=cols)

@@ -1,0 +1,109 @@
+"""Initial placement of logical qubits onto physical qubits.
+
+Two strategies are provided:
+
+* ``trivial`` — logical qubit ``i`` goes to physical qubit ``i`` (row-major).
+* ``snake`` — logical qubits are laid out along a boustrophedon path over the
+  grid, so that logically-adjacent qubits (the common case for the linear
+  registers used by the benchmarks) are physically adjacent as well.
+
+The layout object keeps the forward and inverse maps and is updated in place
+by the SWAP router as it permutes logical qubits across the device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..circuits.circuit import QuantumCircuit
+from .coupling import GridCouplingMap
+
+
+class Layout:
+    """A bijection between logical qubits and physical qubits."""
+
+    def __init__(self, logical_to_physical: Dict[int, int], num_physical: int):
+        self._l2p = dict(logical_to_physical)
+        if len(set(self._l2p.values())) != len(self._l2p):
+            raise ValueError("layout maps two logical qubits to the same physical qubit")
+        for physical in self._l2p.values():
+            if not 0 <= physical < num_physical:
+                raise ValueError(f"physical qubit {physical} outside device")
+        self.num_physical = num_physical
+        self._p2l = {p: l for l, p in self._l2p.items()}
+
+    # -- queries ------------------------------------------------------------------
+
+    def physical(self, logical: int) -> int:
+        """Physical qubit currently holding ``logical``."""
+        return self._l2p[logical]
+
+    def logical(self, physical: int) -> Optional[int]:
+        """Logical qubit currently held by ``physical`` (None if unused)."""
+        return self._p2l.get(physical)
+
+    @property
+    def num_logical(self) -> int:
+        """Number of logical qubits in the layout."""
+        return len(self._l2p)
+
+    def logical_to_physical(self) -> Dict[int, int]:
+        """A copy of the current logical-to-physical map."""
+        return dict(self._l2p)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def swap_physical(self, physical_a: int, physical_b: int) -> None:
+        """Swap the logical contents of two physical qubits (used by the router)."""
+        logical_a = self._p2l.get(physical_a)
+        logical_b = self._p2l.get(physical_b)
+        if logical_a is not None:
+            self._l2p[logical_a] = physical_b
+            self._p2l[physical_b] = logical_a
+        else:
+            self._p2l.pop(physical_b, None)
+        if logical_b is not None:
+            self._l2p[logical_b] = physical_a
+            self._p2l[physical_a] = logical_b
+        else:
+            self._p2l.pop(physical_a, None)
+
+    def copy(self) -> "Layout":
+        """An independent copy of this layout."""
+        return Layout(self._l2p, self.num_physical)
+
+
+def trivial_layout(circuit: QuantumCircuit, coupling: GridCouplingMap) -> Layout:
+    """Place logical qubit ``i`` on physical qubit ``i``."""
+    _check_fits(circuit, coupling)
+    return Layout({i: i for i in range(circuit.num_qubits)}, coupling.num_qubits)
+
+
+def snake_layout(circuit: QuantumCircuit, coupling: GridCouplingMap) -> Layout:
+    """Place logical qubits along a boustrophedon (snake) path over the grid."""
+    _check_fits(circuit, coupling)
+    order: List[int] = []
+    for row in range(coupling.rows):
+        cols = range(coupling.cols) if row % 2 == 0 else range(coupling.cols - 1, -1, -1)
+        for col in cols:
+            order.append(coupling.index(row, col))
+    mapping = {logical: order[logical] for logical in range(circuit.num_qubits)}
+    return Layout(mapping, coupling.num_qubits)
+
+
+def build_layout(circuit: QuantumCircuit, coupling: GridCouplingMap, strategy: str = "snake") -> Layout:
+    """Build an initial layout using the named strategy (``trivial`` or ``snake``)."""
+    strategy = strategy.lower()
+    if strategy == "trivial":
+        return trivial_layout(circuit, coupling)
+    if strategy == "snake":
+        return snake_layout(circuit, coupling)
+    raise ValueError(f"unknown layout strategy '{strategy}'")
+
+
+def _check_fits(circuit: QuantumCircuit, coupling: GridCouplingMap) -> None:
+    if circuit.num_qubits > coupling.num_qubits:
+        raise ValueError(
+            f"circuit needs {circuit.num_qubits} qubits but the device has only "
+            f"{coupling.num_qubits}"
+        )

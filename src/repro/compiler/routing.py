@@ -1,0 +1,158 @@
+"""Stochastic SWAP routing.
+
+The paper maps benchmark circuits onto the 32x32 grid "via SWAP-gate insertion
+using the stochastic transpiler pass packaged with Qiskit Terra".  This module
+implements an equivalent pass from scratch: gates are processed in order, and
+whenever a two-qubit gate addresses non-adjacent physical qubits, SWAPs are
+inserted along a randomly chosen shortest path (randomising between row-first
+and column-first walks and the meeting point on the path).  Several
+independent trials are run and the one with the fewest inserted SWAPs wins —
+the same spirit as the original stochastic pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gate import Gate
+from .coupling import GridCouplingMap
+from .layout import Layout
+
+
+@dataclass
+class RoutingResult:
+    """Output of the router.
+
+    Attributes
+    ----------
+    circuit:
+        The routed circuit over *physical* qubits (same gate set as the input
+        plus inserted ``swap`` gates).
+    initial_layout:
+        The layout before routing (logical -> physical).
+    final_layout:
+        The layout after routing (logical -> physical).
+    num_swaps:
+        Number of SWAP gates inserted.
+    """
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps: int
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling: GridCouplingMap,
+    layout: Layout,
+    seed: int = 0,
+    trials: int = 4,
+) -> RoutingResult:
+    """Route a circuit onto the device with stochastic SWAP insertion.
+
+    ``trials`` independent randomised routings are performed and the one with
+    the fewest SWAPs is returned.  All gates in the input must act on at most
+    two qubits (decompose three-qubit gates first).
+    """
+    for gate in circuit:
+        if gate.num_qubits > 2:
+            raise ValueError(
+                f"routing requires <= 2-qubit gates, found '{gate.name}' on {gate.qubits}; "
+                "run decompose_to_two_qubit_gates first"
+            )
+    if trials < 1:
+        raise ValueError("need at least one routing trial")
+
+    best: Optional[RoutingResult] = None
+    for trial in range(trials):
+        rng = np.random.default_rng(seed + trial)
+        result = _route_once(circuit, coupling, layout.copy(), rng)
+        if best is None or result.num_swaps < best.num_swaps:
+            best = result
+    return best
+
+
+def _route_once(
+    circuit: QuantumCircuit,
+    coupling: GridCouplingMap,
+    layout: Layout,
+    rng: np.random.Generator,
+) -> RoutingResult:
+    initial_layout = layout.copy()
+    routed = QuantumCircuit(coupling.num_qubits, name=f"{circuit.name}_routed")
+    num_swaps = 0
+
+    for gate in circuit:
+        if gate.is_single_qubit:
+            routed.append(gate.remapped({gate.qubits[0]: layout.physical(gate.qubits[0])}))
+            continue
+
+        logical_a, logical_b = gate.qubits
+        physical_a = layout.physical(logical_a)
+        physical_b = layout.physical(logical_b)
+        if not coupling.are_coupled(physical_a, physical_b):
+            path = _random_shortest_path(coupling, physical_a, physical_b, rng)
+            num_swaps += _insert_swaps_along_path(routed, layout, path, rng)
+            physical_a = layout.physical(logical_a)
+            physical_b = layout.physical(logical_b)
+        routed.append(Gate(gate.name, (physical_a, physical_b), gate.params))
+
+    return RoutingResult(
+        circuit=routed,
+        initial_layout=initial_layout,
+        final_layout=layout,
+        num_swaps=num_swaps,
+    )
+
+
+def _random_shortest_path(
+    coupling: GridCouplingMap, start: int, end: int, rng: np.random.Generator
+) -> List[int]:
+    """A shortest grid path from start to end, randomising row/column order."""
+    row_s, col_s = coupling.position(start)
+    row_e, col_e = coupling.position(end)
+    path = [start]
+    row, col = row_s, col_s
+    moves: List[str] = []
+    moves.extend(["row"] * abs(row_e - row_s))
+    moves.extend(["col"] * abs(col_e - col_s))
+    rng.shuffle(moves)
+    for move in moves:
+        if move == "row":
+            row += 1 if row_e > row else -1
+        else:
+            col += 1 if col_e > col else -1
+        path.append(coupling.index(row, col))
+    return path
+
+
+def _insert_swaps_along_path(
+    circuit: QuantumCircuit, layout: Layout, path: List[int], rng: np.random.Generator
+) -> int:
+    """Insert SWAPs so the endpoints of ``path`` become adjacent.
+
+    The two endpoints walk toward a randomly chosen meeting coupler on the
+    path, which distributes the movement between them (and adds the stochastic
+    element that gives the router its name).
+    """
+    if len(path) < 3:
+        return 0
+    # The meeting coupler is (path[m], path[m+1]); endpoints walk inwards.
+    meeting = int(rng.integers(0, len(path) - 1))
+    num_swaps = 0
+    # Walk the left endpoint right up to path[meeting].
+    for i in range(meeting):
+        circuit.swap(path[i], path[i + 1])
+        layout.swap_physical(path[i], path[i + 1])
+        num_swaps += 1
+    # Walk the right endpoint left down to path[meeting + 1].
+    for i in range(len(path) - 1, meeting + 1, -1):
+        circuit.swap(path[i], path[i - 1])
+        layout.swap_physical(path[i], path[i - 1])
+        num_swaps += 1
+    return num_swaps

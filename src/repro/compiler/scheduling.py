@@ -1,0 +1,153 @@
+"""Crosstalk-aware scheduling of CZ-basis circuits.
+
+After routing and rebasing, the compiler groups gates into *moments*: sets of
+gates that execute simultaneously.  Plain ASAP layering already guarantees
+that no two gates in a moment share a qubit; the crosstalk-aware pass of the
+paper [Murali et al., ASPLOS 2020] additionally forbids two CZ gates on
+*adjacent couplers* (couplers that share a qubit or whose qubits are direct
+neighbours on the device) from firing together, since their always-on
+interactions interfere.  When a conflict arises, the offending CZ is deferred
+to a later moment.
+
+The output :class:`Schedule` is what the DigiQ SIMD scheduler and the
+execution-time model consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gate import Gate
+from .coupling import GridCouplingMap
+
+
+@dataclass
+class Moment:
+    """One scheduling step: gates that execute simultaneously."""
+
+    gates: List[Gate] = field(default_factory=list)
+
+    @property
+    def single_qubit_gates(self) -> List[Gate]:
+        return [g for g in self.gates if g.is_single_qubit]
+
+    @property
+    def two_qubit_gates(self) -> List[Gate]:
+        return [g for g in self.gates if g.is_two_qubit]
+
+    def qubits(self) -> Set[int]:
+        """All qubits touched in this moment."""
+        result: Set[int] = set()
+        for gate in self.gates:
+            result.update(gate.qubits)
+        return result
+
+
+@dataclass
+class Schedule:
+    """A sequence of moments covering every gate of a circuit."""
+
+    moments: List[Moment]
+    num_qubits: int
+
+    @property
+    def depth(self) -> int:
+        """Number of moments."""
+        return len(self.moments)
+
+    def gate_count(self) -> int:
+        """Total number of scheduled gates."""
+        return sum(len(moment.gates) for moment in self.moments)
+
+    def max_parallel_two_qubit(self) -> int:
+        """Largest number of simultaneous two-qubit gates in any moment."""
+        if not self.moments:
+            return 0
+        return max(len(m.two_qubit_gates) for m in self.moments)
+
+    def max_parallel_single_qubit(self) -> int:
+        """Largest number of simultaneous single-qubit gates in any moment."""
+        if not self.moments:
+            return 0
+        return max(len(m.single_qubit_gates) for m in self.moments)
+
+
+def asap_schedule(circuit: QuantumCircuit) -> Schedule:
+    """Plain ASAP layering (no crosstalk constraint)."""
+    moments: List[Moment] = []
+    frontier = [0] * circuit.num_qubits
+    for gate in circuit:
+        level = max(frontier[q] for q in gate.qubits)
+        while len(moments) <= level:
+            moments.append(Moment())
+        moments[level].gates.append(gate)
+        for q in gate.qubits:
+            frontier[q] = level + 1
+    return Schedule(moments=moments, num_qubits=circuit.num_qubits)
+
+
+def crosstalk_aware_schedule(
+    circuit: QuantumCircuit,
+    coupling: Optional[GridCouplingMap] = None,
+) -> Schedule:
+    """Schedule a circuit with the crosstalk constraint on simultaneous CZs.
+
+    Each gate is placed in the earliest moment that satisfies:
+
+    * every earlier gate on the same qubits has already been scheduled
+      (dependency order);
+    * no other gate in the moment shares a qubit with it;
+    * if the gate is a two-qubit gate and ``coupling`` is given, no other
+      two-qubit gate in the moment sits on an adjacent coupler.
+    """
+    moments: List[Moment] = []
+    moment_qubits: List[Set[int]] = []
+    moment_couplers: List[Set[Tuple[int, int]]] = []
+    frontier = [0] * circuit.num_qubits
+
+    def conflicts(moment_index: int, gate: Gate) -> bool:
+        if moment_qubits[moment_index] & set(gate.qubits):
+            return True
+        if gate.is_two_qubit and coupling is not None:
+            coupler = tuple(sorted(gate.qubits))
+            blocked = moment_couplers[moment_index]
+            if coupler in blocked:
+                return True
+            for other in blocked:
+                if _couplers_adjacent(coupling, coupler, other):
+                    return True
+        return False
+
+    for gate in circuit:
+        earliest = max(frontier[q] for q in gate.qubits)
+        index = earliest
+        while True:
+            while len(moments) <= index:
+                moments.append(Moment())
+                moment_qubits.append(set())
+                moment_couplers.append(set())
+            if not conflicts(index, gate):
+                break
+            index += 1
+        moments[index].gates.append(gate)
+        moment_qubits[index].update(gate.qubits)
+        if gate.is_two_qubit:
+            moment_couplers[index].add(tuple(sorted(gate.qubits)))
+        for q in gate.qubits:
+            frontier[q] = index + 1
+    return Schedule(moments=moments, num_qubits=circuit.num_qubits)
+
+
+def _couplers_adjacent(
+    coupling: GridCouplingMap, a: Tuple[int, int], b: Tuple[int, int]
+) -> bool:
+    """True if two couplers share a qubit or have directly-coupled endpoints."""
+    if set(a) & set(b):
+        return True
+    for qubit_a in a:
+        for qubit_b in b:
+            if coupling.are_coupled(qubit_a, qubit_b):
+                return True
+    return False

@@ -1,0 +1,275 @@
+"""SIMD scheduling of compiled circuits onto DigiQ (Sec. IV-B, Sec. VI-B.1).
+
+The compiler produces a crosstalk-aware schedule of *moments* (sets of gates
+with disjoint qubits).  DigiQ executes those moments under two additional
+constraints that an ideal MIMD controller would not have:
+
+* every single-qubit gate is a sequence of one or more controller cycles
+  (its decomposition length);
+* within one controller cycle, a SIMD group can broadcast at most ``BS``
+  distinct SFQ gates (``BS`` distinct delay values for DigiQ_opt; the whole
+  stored gate set for DigiQ_min, which therefore never serialises).
+
+When the single-qubit gates of a moment need more distinct delay values than
+``BS`` in some cycle, the extra qubits stall — this is the quantum gate
+serialization the paper quantifies in Fig. 9.  :class:`SIMDScheduler` models
+that cycle-by-cycle process and reports total controller cycles, per-moment
+breakdowns, and the serialization overhead relative to a ``BS = infinity``
+controller.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.gate import Gate
+from ..circuits.library import gate_matrix
+from ..compiler.pipeline import CompiledCircuit
+from ..compiler.scheduling import Moment, Schedule
+from .architecture import DigiQConfig
+from .calibration import DeviceCalibration
+from .decomposition import OptDecomposition
+
+
+@dataclass(frozen=True)
+class GateRequirement:
+    """Controller-cycle requirements of one scheduled single-qubit gate.
+
+    Attributes
+    ----------
+    qubit:
+        Physical qubit the gate acts on.
+    group:
+        SIMD group of that qubit.
+    delays:
+        The delay value needed in each of the gate's controller cycles
+        (DigiQ_opt).  For DigiQ_min the values are the stored-gate indices,
+        which never serialise, so they are informational only.
+    """
+
+    qubit: int
+    group: int
+    delays: Tuple[int, ...]
+
+    @property
+    def cycles(self) -> int:
+        """Number of controller cycles the gate occupies."""
+        return len(self.delays)
+
+
+@dataclass
+class MomentCost:
+    """Controller-cycle cost of one compiled moment."""
+
+    index: int
+    single_qubit_cycles: int
+    two_qubit_cycles: int
+    ideal_cycles: int
+    num_single_qubit_gates: int
+    num_two_qubit_gates: int
+
+    @property
+    def cycles(self) -> int:
+        """Controller cycles this moment occupies (1q and 2q overlap)."""
+        return max(self.single_qubit_cycles, self.two_qubit_cycles, 1 if (self.num_single_qubit_gates or self.num_two_qubit_gates) else 0)
+
+    @property
+    def serialization_cycles(self) -> int:
+        """Extra cycles caused by the BS limit (0 for an unlimited controller)."""
+        return max(0, self.cycles - self.ideal_cycles)
+
+
+@dataclass
+class SIMDScheduleResult:
+    """Output of the SIMD scheduler for one compiled circuit."""
+
+    config: DigiQConfig
+    moments: List[MomentCost]
+    total_cycles: int
+    ideal_cycles: int
+    controller_cycle_ns: float
+
+    @property
+    def total_time_ns(self) -> float:
+        """Total execution time in ns."""
+        return self.total_cycles * self.controller_cycle_ns
+
+    @property
+    def serialization_overhead(self) -> float:
+        """Fractional cycle overhead caused by the BS limit."""
+        if self.ideal_cycles == 0:
+            return 0.0
+        return (self.total_cycles - self.ideal_cycles) / self.ideal_cycles
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers as a plain dict."""
+        return {
+            "design": self.config.label,
+            "total_cycles": self.total_cycles,
+            "ideal_cycles": self.ideal_cycles,
+            "total_time_ns": self.total_time_ns,
+            "serialization_overhead": self.serialization_overhead,
+        }
+
+
+def _synthetic_delays(gate: Gate, config: DigiQConfig, num_qubits: int) -> Tuple[int, ...]:
+    """Deterministic per-qubit delay sequence for a gate without a full calibration.
+
+    Different qubits generally need different delay values for the same
+    logical gate (their drifts differ), which is what drives serialization.
+    Lacking a physics-level calibration, the delays are derived from a stable
+    hash of (qubit, gate name, rounded parameters, pulse index): deterministic
+    across runs, different across qubits, uniform over the delay range.
+    """
+    if gate.name == "rz":
+        return ()
+    if config.is_opt:
+        pulses = 2 if gate.name == "u3" else 1
+    else:
+        typical = config.typical_u3_cycles()
+        pulses = typical if gate.name == "u3" else max(3, typical // 2)
+    qubit = gate.qubits[0]
+    group = config.group_of_qubit(qubit, num_qubits)
+    delays = []
+    for step in range(pulses):
+        payload = f"{qubit}:{gate.name}:{tuple(round(p, 6) for p in gate.params)}:{step}"
+        digest = hashlib.sha256(payload.encode()).digest()
+        delays.append(int.from_bytes(digest[:4], "little") % (config.n_delay_slots + 1))
+    # Qubits in the same group asking for the same logical gate with the same
+    # parameters and (near-)equal drift would share delays; the hash keyed by
+    # qubit index models the common case where drift forces distinct values.
+    return tuple(delays)
+
+
+class SIMDScheduler:
+    """Schedules compiled circuits onto a DigiQ controller configuration.
+
+    Parameters
+    ----------
+    config:
+        The DigiQ controller configuration (variant, G, BS, timings).
+    calibration:
+        Optional :class:`~repro.core.calibration.DeviceCalibration`.  When
+        given, every single-qubit gate is decomposed with the physics-level
+        calibration and the true per-qubit delay values drive the
+        serialization model; without it a deterministic synthetic model is
+        used (appropriate for large devices where per-qubit physics would be
+        too slow).
+    """
+
+    def __init__(self, config: DigiQConfig, calibration: Optional[DeviceCalibration] = None):
+        self.config = config
+        self.calibration = calibration
+
+    # -- per-gate requirements -----------------------------------------------------
+
+    def gate_requirement(self, gate: Gate, num_qubits: int) -> GateRequirement:
+        """Controller-cycle requirement of one single-qubit gate."""
+        if not gate.is_single_qubit:
+            raise ValueError("gate_requirement only applies to single-qubit gates")
+        qubit = gate.qubits[0]
+        group = self.config.group_of_qubit(qubit, num_qubits)
+        if self.calibration is None or qubit >= self.calibration.num_qubits:
+            delays = _synthetic_delays(gate, self.config, num_qubits)
+            return GateRequirement(qubit=qubit, group=group, delays=delays)
+
+        target = gate_matrix(gate)
+        decomposition = self.calibration.decompose(qubit, target)
+        if isinstance(decomposition, OptDecomposition):
+            delays = tuple(int(d) for d in decomposition.delays)
+        else:
+            delays = tuple(int(i) for i in decomposition.gate_indices)
+        return GateRequirement(qubit=qubit, group=group, delays=delays)
+
+    # -- per-moment scheduling -------------------------------------------------------
+
+    def _single_qubit_cycles(self, requirements: Sequence[GateRequirement]) -> Tuple[int, int]:
+        """(actual cycles, ideal cycles) needed by a moment's single-qubit gates.
+
+        DigiQ_min broadcasts its whole stored gate set every cycle, so the
+        moment simply takes as long as its deepest decomposition.  DigiQ_opt
+        serialises when more than ``BS`` distinct delay values are requested
+        in the same cycle; the model grants, each cycle, the ``BS`` delay
+        values requested by the most waiting qubits.
+        """
+        if not requirements:
+            return 0, 0
+        ideal = max(req.cycles for req in requirements)
+        if not self.config.is_opt:
+            return ideal, ideal
+
+        bs = self.config.bitstreams
+        progress = {id(req): 0 for req in requirements}
+        pending = [req for req in requirements if req.cycles > 0]
+        cycles = 0
+        while pending:
+            cycles += 1
+            # Votes for delay values, per group.
+            votes: Dict[int, Counter] = {}
+            for req in pending:
+                votes.setdefault(req.group, Counter())[req.delays[progress[id(req)]]] += 1
+            granted: Dict[int, set] = {
+                group: {value for value, _ in counter.most_common(bs)}
+                for group, counter in votes.items()
+            }
+            still_pending = []
+            for req in pending:
+                wanted = req.delays[progress[id(req)]]
+                if wanted in granted[req.group]:
+                    progress[id(req)] += 1
+                if progress[id(req)] < req.cycles:
+                    still_pending.append(req)
+            pending = still_pending
+            if cycles > 100000:  # pragma: no cover - safety valve
+                raise RuntimeError("SIMD scheduling did not converge")
+        return cycles, ideal
+
+    def moment_cost(self, moment: Moment, index: int, num_qubits: int) -> MomentCost:
+        """Controller-cycle cost of one compiled moment."""
+        requirements = [
+            self.gate_requirement(gate, num_qubits)
+            for gate in moment.single_qubit_gates
+        ]
+        single_cycles, ideal_single = self._single_qubit_cycles(requirements)
+        # A software-calibrated CZ is an echo sequence of Uqq pulses with
+        # interleaved single-qubit gates (Sec. V-B), so it occupies far more
+        # than one pulse worth of controller cycles.
+        two_qubit_cycles = (
+            self.config.cz_decomposed_cycles() if moment.two_qubit_gates else 0
+        )
+        ideal = max(ideal_single, two_qubit_cycles)
+        return MomentCost(
+            index=index,
+            single_qubit_cycles=single_cycles,
+            two_qubit_cycles=two_qubit_cycles,
+            ideal_cycles=ideal,
+            num_single_qubit_gates=len(moment.single_qubit_gates),
+            num_two_qubit_gates=len(moment.two_qubit_gates),
+        )
+
+    # -- whole-circuit scheduling -----------------------------------------------------
+
+    def schedule(self, compiled: CompiledCircuit) -> SIMDScheduleResult:
+        """Schedule a compiled circuit and return its controller-cycle cost."""
+        return self.schedule_moments(compiled.schedule, compiled.coupling.num_qubits)
+
+    def schedule_moments(self, schedule: Schedule, num_qubits: int) -> SIMDScheduleResult:
+        """Schedule an explicit moment list (used by tests and ablations)."""
+        costs = [
+            self.moment_cost(moment, index, num_qubits)
+            for index, moment in enumerate(schedule.moments)
+        ]
+        total = sum(cost.cycles for cost in costs)
+        ideal = sum(cost.ideal_cycles for cost in costs)
+        return SIMDScheduleResult(
+            config=self.config,
+            moments=costs,
+            total_cycles=total,
+            ideal_cycles=ideal,
+            controller_cycle_ns=self.config.controller_cycle_ns(),
+        )

@@ -1,0 +1,138 @@
+"""Dilution-refrigerator budgets and controller scalability (Sec. VI-A.3).
+
+The 4 K stage of a dilution refrigerator offers a power budget of a few watts
+(the paper uses 10 W following [McDermott et al. 2018; Van Dijk et al. 2020;
+Hornibrook et al. 2015]), and each SFQ chip has a bounded die area.  DigiQ is
+designed as a 1024-qubit tile that is replicated to reach larger systems, so
+the maximum system size is the largest multiple of qubits whose replicated
+tile cost fits the budget.
+
+:func:`max_qubits_within_budget` performs that calculation for one design
+point, and :func:`scalability_report` sweeps the design space the way the
+paper's Sec. VI-A.3 discussion does (DigiQ_min(BS=2) > 42,000 qubits,
+DigiQ_opt(BS=8) > 25,000, DigiQ_opt(BS=16) > 17,000, Cryo-CMOS ~800).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .controller_designs import ControllerDesign, DesignCost, evaluate_design
+
+#: Power budget of the 4 K stage in watts (the paper's headline assumption).
+DEFAULT_POWER_BUDGET_W = 10.0
+
+#: Cooling power available at the millikelvin stage in watts (< 10 uW).
+MILLIKELVIN_BUDGET_W = 10e-6
+
+#: Usable area of one SFQ die in mm^2 (a generous 2 cm x 2 cm reticle).
+DEFAULT_CHIP_AREA_MM2 = 400.0
+
+#: Power per qubit of the Cryo-CMOS prototype of [Van Dijk et al. 2020], mW.
+CRYO_CMOS_POWER_PER_QUBIT_MW = 12.0
+
+#: Tile size the paper replicates to scale beyond one fridge-stage controller.
+TILE_QUBITS = 1024
+
+
+@dataclass(frozen=True)
+class FridgeBudget:
+    """Power and area budget available to the in-fridge controller."""
+
+    power_w: float = DEFAULT_POWER_BUDGET_W
+    chip_area_mm2: float = DEFAULT_CHIP_AREA_MM2
+
+    def __post_init__(self) -> None:
+        if self.power_w <= 0 or self.chip_area_mm2 <= 0:
+            raise ValueError("budgets must be positive")
+
+
+@dataclass(frozen=True)
+class ScalabilityResult:
+    """Scalability of one design point under a fridge budget."""
+
+    design: ControllerDesign
+    tile_cost: DesignCost
+    budget: FridgeBudget
+    max_qubits: int
+    chips_per_tile: int
+    fits_budget_at_tile: bool
+
+    def summary(self) -> Dict[str, object]:
+        """Headline numbers as a plain dict (used by the analysis layer)."""
+        return {
+            "design": self.design.label,
+            "power_per_qubit_mw": self.tile_cost.power_per_qubit_mw,
+            "area_per_qubit_mm2": self.tile_cost.area_per_qubit_mm2,
+            "max_qubits": self.max_qubits,
+            "chips_per_tile": self.chips_per_tile,
+        }
+
+
+def chips_needed(cost: DesignCost, chip_area_mm2: float = DEFAULT_CHIP_AREA_MM2) -> int:
+    """Number of SFQ dies needed to hold a controller of the given area.
+
+    Each SIMD group must fit on one die (or be replicated, which is what
+    splitting into more groups means), so the result is at least the number
+    of groups whose per-group area exceeds a die.
+    """
+    if chip_area_mm2 <= 0:
+        raise ValueError("chip area must be positive")
+    return max(1, int(-(-cost.total_area_mm2 // chip_area_mm2)))
+
+
+def max_qubits_within_budget(
+    design: ControllerDesign,
+    budget: Optional[FridgeBudget] = None,
+    tile_qubits: int = TILE_QUBITS,
+) -> ScalabilityResult:
+    """Largest system size (in qubits) a design supports within the power budget.
+
+    The design is evaluated at its ``tile_qubits`` tile size; the tile is then
+    replicated, so the achievable system size is
+    ``floor(budget / tile_power) * tile_qubits`` qubits (the paper quotes
+    >42,000 qubits for DigiQ_min(BS=2) under 10 W).
+    """
+    budget = budget or FridgeBudget()
+    if tile_qubits < 1:
+        raise ValueError("tile_qubits must be positive")
+    cost = evaluate_design(design, tile_qubits)
+    per_qubit_w = cost.total_power_w / tile_qubits
+    max_qubits = int(budget.power_w / per_qubit_w) if per_qubit_w > 0 else 0
+    return ScalabilityResult(
+        design=design,
+        tile_cost=cost,
+        budget=budget,
+        max_qubits=max_qubits,
+        chips_per_tile=chips_needed(cost, budget.chip_area_mm2),
+        fits_budget_at_tile=cost.total_power_w <= budget.power_w,
+    )
+
+
+def cryo_cmos_max_qubits(budget_w: float = DEFAULT_POWER_BUDGET_W) -> int:
+    """Scalability of the Cryo-CMOS baseline (~800 qubits at 12 mW/qubit, Sec. III-A)."""
+    if budget_w <= 0:
+        raise ValueError("budget must be positive")
+    return int(budget_w / (CRYO_CMOS_POWER_PER_QUBIT_MW * 1e-3))
+
+
+def scalability_report(
+    designs: Optional[Sequence[ControllerDesign]] = None,
+    budget: Optional[FridgeBudget] = None,
+    tile_qubits: int = TILE_QUBITS,
+) -> List[ScalabilityResult]:
+    """Scalability of a set of design points (default: the Sec. VI-A.3 set)."""
+    if designs is None:
+        designs = [
+            ControllerDesign("mimd_naive"),
+            ControllerDesign("mimd_decomp"),
+            ControllerDesign("digiq_min", groups=2, bitstreams=2),
+            ControllerDesign("digiq_min", groups=2, bitstreams=4),
+            ControllerDesign("digiq_opt", groups=2, bitstreams=8),
+            ControllerDesign("digiq_opt", groups=2, bitstreams=16),
+        ]
+    return [
+        max_qubits_within_budget(design, budget=budget, tile_qubits=tile_qubits)
+        for design in designs
+    ]

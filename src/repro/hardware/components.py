@@ -1,0 +1,263 @@
+"""Parametric netlist builders for the DigiQ controller building blocks (Fig. 5).
+
+Each function returns a :class:`~repro.hardware.netlist.Netlist` describing one
+instance of a building block; :mod:`repro.hardware.controller_designs` then
+synthesises each block once and scales it by the number of instances a given
+design point needs.  The blocks are:
+
+* :func:`storage_register` — serially-loaded, repeatedly-readable SFQ bitstream
+  storage (one NDRO DFF + one DRO DFF + one splitter per bit).  A 300-bit
+  instance reproduces the paper's SFQ_MIMD_naive anchor of 5.01 mW and
+  13.9 mm^2 per qubit.
+* :func:`programmable_delay_unit` — counter+comparator tap that releases the
+  stored Ry(pi/2) bitstream after ``d`` SFQ cycles (DigiQ_opt).
+* :func:`bitstream_generator` — the per-group generator: stored bitstream(s)
+  plus either plain sequencing (DigiQ_min) or ``BS`` delay taps (DigiQ_opt).
+* :func:`broadcast_tree` — splitter tree distributing one bitstream to all the
+  qubit controllers of a group.
+* :func:`qubit_controller` — per-qubit mux/select logic of Fig. 5.
+* :func:`sfqdc_array` — the SFQ/DC current-generator array used for CZ gates.
+* :func:`control_buffer` — the double buffer holding one controller cycle's
+  worth of control bits.
+* :func:`cycle_counter` — the controller-cycle counter started by ``Go``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .netlist import Netlist
+
+
+def storage_register(num_bits: int = 300, name: str = "storage_register") -> Netlist:
+    """Serially-loaded, non-destructively-readable bitstream register.
+
+    Each bit needs an NDRO DFF to hold the value across repeated reads, a DRO
+    DFF on the serial load/shift path, and a splitter to fan the stored bit
+    out to both the readout path and the recirculation path.
+    """
+    if num_bits < 1:
+        raise ValueError("register needs at least one bit")
+    netlist = Netlist(name=f"{name}_{num_bits}b")
+    load_input = netlist.add_input("load_data")
+    previous = load_input
+    for index in range(num_bits):
+        shift = netlist.add_node("DRO_DFF", f"shift[{index}]")
+        hold = netlist.add_node("NDRO_DFF", f"hold[{index}]")
+        fan = netlist.add_node("SPLITTER", f"fan[{index}]")
+        netlist.connect(previous, shift)
+        netlist.connect(shift, hold)
+        netlist.connect(hold, fan)
+        previous = shift
+    output = netlist.add_output("stream_out")
+    netlist.connect(previous, output)
+    return netlist
+
+
+def programmable_delay_unit(delay_bits: int = 8, name: str = "delay_unit") -> Netlist:
+    """One DigiQ_opt delay tap: ``delay_bits``-bit counter + comparator + gate.
+
+    The tap stores the 8-bit delay value sent from room temperature, compares
+    it against the free-running SFQ cycle counter within the controller cycle
+    and, on match, releases the stored Ry(pi/2) bitstream toward the broadcast
+    tree.
+    """
+    if delay_bits < 1:
+        raise ValueError("delay_bits must be >= 1")
+    netlist = Netlist(name=f"{name}_{delay_bits}b")
+    value_in = netlist.add_input("delay_value")
+    counter_in = netlist.add_input("cycle_count")
+    previous = value_in
+    compare_bits = []
+    for index in range(delay_bits):
+        store = netlist.add_node("DRO_DFF", f"delay_store[{index}]")
+        netlist.connect(previous, store)
+        previous = store
+        count_bit = netlist.add_node("NDRO_DFF", f"count_shadow[{index}]")
+        netlist.connect(counter_in, count_bit)
+        compare = netlist.add_node("XOR2", f"compare[{index}]")
+        netlist.connect(store, compare)
+        netlist.connect(count_bit, compare)
+        invert = netlist.add_node("NOT", f"match[{index}]")
+        netlist.connect(compare, invert)
+        compare_bits.append(invert)
+    # AND-reduce the per-bit match signals.
+    current = compare_bits[0]
+    for other in compare_bits[1:]:
+        gate = netlist.add_node("AND2", "match_and")
+        netlist.connect(current, gate)
+        netlist.connect(other, gate)
+        current = gate
+    release = netlist.add_node("AND2", "release_gate")
+    stream_in = netlist.add_input("stream_in")
+    netlist.connect(current, release)
+    netlist.connect(stream_in, release)
+    output = netlist.add_output("delayed_stream")
+    netlist.connect(release, output)
+    return netlist
+
+
+def bitstream_generator(
+    variant: str,
+    num_bitstreams: int,
+    bitstream_bits: int = 300,
+    delay_bits: int = 8,
+) -> Netlist:
+    """Per-group SFQ bitstream generator.
+
+    * ``variant="min"`` — ``num_bitstreams`` independent stored bitstreams (the
+      universal discrete gate set), streamed out every controller cycle.
+    * ``variant="opt"`` — a single stored Ry(pi/2) bitstream plus
+      ``num_bitstreams`` programmable delay taps producing the BS distinct
+      delayed copies.
+    """
+    variant = variant.lower()
+    if variant not in ("min", "opt"):
+        raise ValueError(f"variant must be 'min' or 'opt', got '{variant}'")
+    if num_bitstreams < 1:
+        raise ValueError("need at least one bitstream")
+    netlist = Netlist(name=f"bitstream_generator_{variant}_bs{num_bitstreams}")
+    if variant == "min":
+        for index in range(num_bitstreams):
+            register = storage_register(bitstream_bits, name=f"bs{index}")
+            netlist.merge(register)
+    else:
+        register = storage_register(bitstream_bits, name="ry_half_pi")
+        netlist.merge(register)
+        for index in range(num_bitstreams):
+            tap = programmable_delay_unit(delay_bits, name=f"tap{index}")
+            netlist.merge(tap)
+    return netlist
+
+
+def broadcast_tree(num_leaves: int, name: str = "broadcast") -> Netlist:
+    """Splitter tree distributing one SFQ stream to ``num_leaves`` destinations."""
+    if num_leaves < 1:
+        raise ValueError("broadcast tree needs at least one leaf")
+    netlist = Netlist(name=f"{name}_{num_leaves}")
+    source = netlist.add_input("stream_in")
+    frontier = [source]
+    leaves_available = 1
+    while leaves_available < num_leaves:
+        next_frontier = []
+        for node in frontier:
+            splitter = netlist.add_node("SPLITTER")
+            netlist.connect(node, splitter)
+            next_frontier.extend([splitter, splitter])
+            leaves_available += 1
+            if leaves_available >= num_leaves:
+                break
+        frontier = next_frontier or frontier
+    for index in range(min(num_leaves, len(frontier))):
+        output = netlist.add_output(f"leaf[{index}]")
+        netlist.connect(frontier[index], output)
+    return netlist
+
+
+def qubit_controller(num_bitstreams: int, name: str = "qubit_controller") -> Netlist:
+    """Per-qubit controller of Fig. 5: select storage + BS:1 multiplexer + 2q logic."""
+    if num_bitstreams < 1:
+        raise ValueError("need at least one selectable bitstream")
+    netlist = Netlist(name=f"{name}_bs{num_bitstreams}")
+    select_bits = max(1, math.ceil(math.log2(num_bitstreams + 1)))
+
+    # 1q_sel storage (loaded from the control buffer every controller cycle).
+    select_nodes = []
+    ctrl_in = netlist.add_input("ctrl_bits")
+    for index in range(select_bits):
+        store = netlist.add_node("NDRO_DFF", f"sel1q[{index}]")
+        netlist.connect(ctrl_in, store)
+        select_nodes.append(store)
+
+    # BS:1 multiplexer: one AND gate per candidate bitstream, merged pairwise.
+    stream_inputs = [netlist.add_input(f"bs_in[{i}]") for i in range(num_bitstreams)]
+    gated = []
+    for index, stream in enumerate(stream_inputs):
+        gate = netlist.add_node("AND2", f"gate[{index}]")
+        netlist.connect(stream, gate)
+        netlist.connect(select_nodes[index % select_bits], gate)
+        gated.append(gate)
+    current = gated[0]
+    for other in gated[1:]:
+        merge = netlist.add_node("MERGER", "mux_merge")
+        netlist.connect(current, merge)
+        netlist.connect(other, merge)
+        current = merge
+    drive = netlist.add_output("drive_line")
+    netlist.connect(current, drive)
+
+    # 2q_sel: start/stop latch driving the SFQ/DC array enable.
+    sel2q = netlist.add_node("NDRO_DFF", "sel2q")
+    netlist.connect(ctrl_in, sel2q)
+    start_stop = netlist.add_node("AND2", "cz_start_stop")
+    netlist.connect(sel2q, start_stop)
+    netlist.connect(ctrl_in, start_stop)
+    flux_enable = netlist.add_output("flux_enable")
+    netlist.connect(start_stop, flux_enable)
+    return netlist
+
+
+def sfqdc_array(num_converters: int = 25, name: str = "sfqdc_array") -> Netlist:
+    """SFQ/DC converter array generating the CZ flux-pulse current (Fig. 4a)."""
+    if num_converters < 1:
+        raise ValueError("need at least one SFQ/DC converter")
+    netlist = Netlist(name=f"{name}_{num_converters}")
+    enable = netlist.add_input("enable")
+    # Distribute the enable pulse to every converter with a splitter tree.
+    frontier = [enable]
+    created = 1
+    while created < num_converters:
+        next_frontier = []
+        for node in frontier:
+            splitter = netlist.add_node("SPLITTER")
+            netlist.connect(node, splitter)
+            next_frontier.extend([splitter, splitter])
+            created += 1
+            if created >= num_converters:
+                break
+        frontier = next_frontier or frontier
+    output = netlist.add_output("flux_line")
+    for index in range(num_converters):
+        converter = netlist.add_node("SFQDC", f"sfqdc[{index}]")
+        netlist.connect(frontier[index % len(frontier)], converter)
+        netlist.connect(converter, output)
+    return netlist
+
+
+def control_buffer(num_bits: int, name: str = "control_buffer") -> Netlist:
+    """Double buffer for one controller cycle's control bits (Buffer#1/#2 of Fig. 5)."""
+    if num_bits < 1:
+        raise ValueError("buffer needs at least one bit")
+    netlist = Netlist(name=f"{name}_{num_bits}b")
+    data_in = netlist.add_input("ctrl_data")
+    previous = data_in
+    for index in range(num_bits):
+        stage_one = netlist.add_node("DRO_DFF", f"buf1[{index}]")
+        stage_two = netlist.add_node("DRO_DFF", f"buf2[{index}]")
+        netlist.connect(previous, stage_one)
+        netlist.connect(stage_one, stage_two)
+        previous = stage_one
+    output = netlist.add_output("ctrl_out")
+    netlist.connect(previous, output)
+    return netlist
+
+
+def cycle_counter(width_bits: int = 9, name: str = "cycle_counter") -> Netlist:
+    """Controller-cycle counter: counts SFQ cycles, resets every controller cycle."""
+    if width_bits < 1:
+        raise ValueError("counter needs at least one bit")
+    netlist = Netlist(name=f"{name}_{width_bits}b")
+    clock_in = netlist.add_input("go")
+    previous = clock_in
+    for index in range(width_bits):
+        toggle = netlist.add_node("XOR2", f"toggle[{index}]")
+        state = netlist.add_node("NDRO_DFF", f"count[{index}]")
+        carry = netlist.add_node("AND2", f"carry[{index}]")
+        netlist.connect(previous, toggle)
+        netlist.connect(toggle, state)
+        netlist.connect(state, carry)
+        netlist.connect(previous, carry)
+        previous = carry
+    output = netlist.add_output("cycle_boundary")
+    netlist.connect(previous, output)
+    return netlist

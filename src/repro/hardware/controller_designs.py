@@ -1,0 +1,378 @@
+"""Cost model of the SFQ controller design space (Table I / Fig. 8 of the paper).
+
+Four design points are modelled, mirroring Sec. IV-A.1:
+
+* ``SFQ_MIMD_naive`` — one 300-bit SFQ bitstream register per qubit, updated
+  on the fly from room temperature.
+* ``SFQ_MIMD_decomp`` — a small universal gate set stored per qubit (two
+  300-bit registers by default), selected by control bits from room
+  temperature.
+* ``DigiQ_min(G, BS)`` — SIMD: ``BS`` stored bitstreams per group of qubits,
+  broadcast to every qubit controller of the group.
+* ``DigiQ_opt(G, BS)`` — SIMD: a single stored Ry(pi/2) bitstream per group
+  plus ``BS`` programmable delay taps implementing Ry(pi/2)Rz(phi) gates.
+
+Each design point is decomposed into the Fig. 5 building blocks
+(:mod:`repro.hardware.components`), every block is synthesised once with the
+SFQ cost model (:mod:`repro.hardware.synthesis`) and scaled by its instance
+count.  The result is a :class:`DesignCost` holding the total power, area,
+SFQ storage and room-temperature cable count for a device of ``num_qubits``
+qubits — the quantities plotted in Fig. 8 and used for the scalability
+analysis of Sec. VI-A.3.
+
+The absolute anchor points of the model are the paper's own numbers: the
+300-bit register cost (5.01 mW / 13.9 mm^2 per qubit, Sec. IV-A.1) calibrates
+the cell-level power/area coefficients, and the per-design cable counts use
+the paper's 10 Gb/s return-to-zero cables and controller cycle periods
+(Sec. VI-A.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from .components import (
+    bitstream_generator,
+    broadcast_tree,
+    control_buffer,
+    cycle_counter,
+    qubit_controller,
+    sfqdc_array,
+    storage_register,
+)
+from .synthesis import SynthesisReport, synthesize
+
+#: Length of one stored SFQ bitstream in bits (the paper uses <= 300).
+BITSTREAM_BITS = 300
+
+#: SFQ chip clock period in ns (40 ps).
+SFQ_CLOCK_PERIOD_NS = 0.040
+
+#: Room-temperature data-cable rate in Gb/s (10 Gb/s RZ cables, Sec. VI-A.4).
+CABLE_RATE_GBPS = 10.0
+
+#: Fixed protocol cables: Go, Valid, Load (Sec. IV-B).
+FIXED_CABLES = 3
+
+#: Minimum controller cycle period for DigiQ_min, ns (Sec. VI-A.4).
+DIGIQ_MIN_CYCLE_NS = 9.0
+
+#: Additional cycle time for the 255 delay slots of DigiQ_opt, ns.
+DIGIQ_OPT_DELAY_NS = 10.2
+
+#: Number of SFQ/DC converters per current generator (Fig. 4).
+SFQDC_PER_QUBIT = 25
+
+#: Gate-set size stored per qubit by SFQ_MIMD_decomp.
+MIMD_DECOMP_GATE_SET = 2
+
+#: Average issue interval of one elementary gate in the MIMD_decomp design, ns.
+#: MIMD hardware has no shared controller cycle: each qubit is issued a new
+#: elementary gate of its decomposition as soon as the previous one finishes.
+#: The value is calibrated against the paper's 161-cable anchor for
+#: SFQ_MIMD_decomp at 1024 qubits.
+MIMD_DECOMP_ISSUE_INTERVAL_NS = 2.0
+
+
+@dataclass(frozen=True)
+class ControllerDesign:
+    """One point of the controller design space.
+
+    Parameters
+    ----------
+    variant:
+        ``"mimd_naive"``, ``"mimd_decomp"``, ``"digiq_min"`` or ``"digiq_opt"``.
+    groups:
+        Number of SIMD qubit groups ``G`` (ignored by the MIMD designs).
+    bitstreams:
+        Number of distinct SFQ gates per group per cycle ``BS`` (ignored by
+        the MIMD designs).
+    """
+
+    variant: str
+    groups: int = 2
+    bitstreams: int = 2
+
+    def __post_init__(self) -> None:
+        variant = self.variant.lower()
+        if variant not in ("mimd_naive", "mimd_decomp", "digiq_min", "digiq_opt"):
+            raise ValueError(
+                f"unknown variant '{self.variant}'; expected mimd_naive, mimd_decomp, "
+                "digiq_min or digiq_opt"
+            )
+        object.__setattr__(self, "variant", variant)
+        if self.is_simd and (self.groups < 1 or self.bitstreams < 1):
+            raise ValueError("SIMD designs need groups >= 1 and bitstreams >= 1")
+
+    @property
+    def is_simd(self) -> bool:
+        """True for the DigiQ (SIMD) designs."""
+        return self.variant.startswith("digiq")
+
+    @property
+    def label(self) -> str:
+        """Human-readable design label (matches the paper's figure legends)."""
+        if self.variant == "mimd_naive":
+            return "SFQ_MIMD_naive"
+        if self.variant == "mimd_decomp":
+            return "SFQ_MIMD_decomp"
+        name = "DigiQ_min" if self.variant == "digiq_min" else "DigiQ_opt"
+        return f"{name}(G={self.groups},BS={self.bitstreams})"
+
+    @property
+    def controller_cycle_ns(self) -> float:
+        """Controller cycle period used for the cable-count model, in ns."""
+        if self.variant == "digiq_opt":
+            return DIGIQ_MIN_CYCLE_NS + DIGIQ_OPT_DELAY_NS
+        if self.variant == "digiq_min":
+            return DIGIQ_MIN_CYCLE_NS
+        if self.variant == "mimd_decomp":
+            return MIMD_DECOMP_ISSUE_INTERVAL_NS
+        # MIMD_naive must stream a full new bitstream within one gate.
+        return BITSTREAM_BITS * SFQ_CLOCK_PERIOD_NS
+
+    def per_qubit_select_bits(self) -> int:
+        """Control bits per qubit per cycle (1q_sel + 2q_sel encoding).
+
+        Every qubit must be told, each cycle, to apply one of the ``BS``
+        broadcast gates, start a CZ, stop a CZ, or do nothing.
+        """
+        if self.variant == "mimd_naive":
+            # The bitstream itself is the instruction; only the 2q_sel bits
+            # and an apply/idle flag ride along.
+            return 2
+        if self.variant == "mimd_decomp":
+            choices = MIMD_DECOMP_GATE_SET + 3
+        else:
+            choices = self.bitstreams + 3
+        return max(1, math.ceil(math.log2(choices)))
+
+    def group_select_bits(self) -> int:
+        """BS_sel bits per group per cycle (8-bit delay values, DigiQ_opt only)."""
+        if self.variant != "digiq_opt":
+            return 0
+        return 8 * self.bitstreams
+
+
+@dataclass(frozen=True)
+class DesignCost:
+    """Hardware cost of one design point at a given device size."""
+
+    design: ControllerDesign
+    num_qubits: int
+    total_power_w: float
+    total_area_mm2: float
+    cable_count: int
+    storage_bits: int
+    worst_stage_delay_ps: float
+    block_breakdown: Dict[str, Tuple[int, float, float]]
+
+    @property
+    def power_per_qubit_mw(self) -> float:
+        """Total power divided by qubit count, in mW."""
+        return self.total_power_w * 1e3 / self.num_qubits
+
+    @property
+    def area_per_qubit_mm2(self) -> float:
+        """Total area divided by qubit count, in mm^2."""
+        return self.total_area_mm2 / self.num_qubits
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers as a plain dict (used by the analysis layer)."""
+        return {
+            "design": self.design.label,
+            "num_qubits": self.num_qubits,
+            "power_w": self.total_power_w,
+            "area_mm2": self.total_area_mm2,
+            "cables": self.cable_count,
+            "storage_bits": self.storage_bits,
+            "power_per_qubit_mw": self.power_per_qubit_mw,
+            "area_per_qubit_mm2": self.area_per_qubit_mm2,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Synthesised building blocks (cached; the blocks are design-independent).
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _storage_register_report(bits: int) -> SynthesisReport:
+    return synthesize(storage_register(bits))
+
+
+@lru_cache(maxsize=None)
+def _qubit_controller_report(bitstreams: int) -> SynthesisReport:
+    return synthesize(qubit_controller(bitstreams))
+
+
+@lru_cache(maxsize=None)
+def _sfqdc_array_report(converters: int) -> SynthesisReport:
+    return synthesize(sfqdc_array(converters))
+
+
+@lru_cache(maxsize=None)
+def _bitstream_generator_report(variant: str, bitstreams: int, bits: int) -> SynthesisReport:
+    return synthesize(bitstream_generator(variant, bitstreams, bitstream_bits=bits))
+
+
+@lru_cache(maxsize=None)
+def _broadcast_tree_report(leaves: int) -> SynthesisReport:
+    return synthesize(broadcast_tree(leaves))
+
+
+@lru_cache(maxsize=None)
+def _control_buffer_report(bits: int) -> SynthesisReport:
+    return synthesize(control_buffer(bits))
+
+
+@lru_cache(maxsize=None)
+def _cycle_counter_report(width: int) -> SynthesisReport:
+    return synthesize(cycle_counter(width))
+
+
+# ---------------------------------------------------------------------------
+# Cost evaluation
+# ---------------------------------------------------------------------------
+
+
+def _block_instances(design: ControllerDesign, num_qubits: int) -> List[Tuple[str, SynthesisReport, int]]:
+    """(name, per-instance report, instance count) for every block of a design."""
+    blocks: List[Tuple[str, SynthesisReport, int]] = []
+    variant = design.variant
+
+    # Per-qubit blocks common to every design: the CZ current generator.
+    blocks.append(("sfqdc_array", _sfqdc_array_report(SFQDC_PER_QUBIT), num_qubits))
+
+    if variant == "mimd_naive":
+        blocks.append(("storage_register", _storage_register_report(BITSTREAM_BITS), num_qubits))
+        blocks.append(("qubit_controller", _qubit_controller_report(1), num_qubits))
+        return blocks
+
+    if variant == "mimd_decomp":
+        blocks.append(
+            (
+                "storage_register",
+                _storage_register_report(BITSTREAM_BITS),
+                num_qubits * MIMD_DECOMP_GATE_SET,
+            )
+        )
+        blocks.append(
+            ("qubit_controller", _qubit_controller_report(MIMD_DECOMP_GATE_SET), num_qubits)
+        )
+        return blocks
+
+    # DigiQ SIMD designs.
+    groups = design.groups
+    bitstreams = design.bitstreams
+    qubits_per_group = max(1, math.ceil(num_qubits / groups))
+    generator_variant = "min" if variant == "digiq_min" else "opt"
+
+    blocks.append(("qubit_controller", _qubit_controller_report(bitstreams), num_qubits))
+    blocks.append(
+        (
+            "bitstream_generator",
+            _bitstream_generator_report(generator_variant, bitstreams, BITSTREAM_BITS),
+            groups,
+        )
+    )
+    blocks.append(
+        ("broadcast_tree", _broadcast_tree_report(qubits_per_group), groups * bitstreams)
+    )
+    blocks.append(("cycle_counter", _cycle_counter_report(9), groups))
+
+    buffer_bits = qubits_per_group * design.per_qubit_select_bits() + design.group_select_bits()
+    blocks.append(("control_buffer", _control_buffer_report(buffer_bits), groups))
+    return blocks
+
+
+def storage_bits(design: ControllerDesign, num_qubits: int) -> int:
+    """Total number of SFQ bitstream storage bits of a design (Sec. VI-A.4)."""
+    if design.variant == "mimd_naive":
+        return num_qubits * BITSTREAM_BITS
+    if design.variant == "mimd_decomp":
+        return num_qubits * MIMD_DECOMP_GATE_SET * BITSTREAM_BITS
+    if design.variant == "digiq_min":
+        return design.groups * design.bitstreams * BITSTREAM_BITS
+    return design.groups * BITSTREAM_BITS
+
+
+def cable_count(design: ControllerDesign, num_qubits: int) -> int:
+    """Number of room-temperature cables needed by a design (Fig. 8(c)).
+
+    The control bits of one controller cycle must be delivered within that
+    cycle over 10 Gb/s cables; three extra cables carry Go, Valid and Load.
+    """
+    bits_per_cycle = num_qubits * design.per_qubit_select_bits()
+    if design.variant == "mimd_naive":
+        bits_per_cycle += num_qubits * BITSTREAM_BITS
+    if design.is_simd:
+        bits_per_cycle += design.groups * design.group_select_bits()
+    bits_per_cable_per_cycle = CABLE_RATE_GBPS * design.controller_cycle_ns
+    data_cables = math.ceil(bits_per_cycle / bits_per_cable_per_cycle)
+    return data_cables + FIXED_CABLES
+
+
+def evaluate_design(design: ControllerDesign, num_qubits: int = 1024) -> DesignCost:
+    """Total power/area/cable cost of a design point at ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be positive")
+    blocks = _block_instances(design, num_qubits)
+
+    total_power_mw = 0.0
+    total_area_mm2 = 0.0
+    worst_stage = 0.0
+    breakdown: Dict[str, Tuple[int, float, float]] = {}
+    for name, report, count in blocks:
+        power = report.total_power_mw * count
+        area = report.area_mm2 * count
+        total_power_mw += power
+        total_area_mm2 += area
+        worst_stage = max(worst_stage, report.max_stage_delay_ps)
+        previous = breakdown.get(name, (0, 0.0, 0.0))
+        breakdown[name] = (previous[0] + count, previous[1] + power, previous[2] + area)
+
+    return DesignCost(
+        design=design,
+        num_qubits=num_qubits,
+        total_power_w=total_power_mw * 1e-3,
+        total_area_mm2=total_area_mm2,
+        cable_count=cable_count(design, num_qubits),
+        storage_bits=storage_bits(design, num_qubits),
+        worst_stage_delay_ps=worst_stage,
+        block_breakdown=breakdown,
+    )
+
+
+def design_space(
+    groups: Tuple[int, ...] = (2, 4, 8, 16),
+    bitstreams_min: Tuple[int, ...] = (2, 4),
+    bitstreams_opt: Tuple[int, ...] = (2, 4, 8, 16),
+) -> List[ControllerDesign]:
+    """The design points swept by Fig. 8, plus the two MIMD baselines."""
+    designs: List[ControllerDesign] = [
+        ControllerDesign("mimd_naive"),
+        ControllerDesign("mimd_decomp"),
+    ]
+    for g in groups:
+        for bs in bitstreams_min:
+            designs.append(ControllerDesign("digiq_min", groups=g, bitstreams=bs))
+        for bs in bitstreams_opt:
+            designs.append(ControllerDesign("digiq_opt", groups=g, bitstreams=bs))
+    return designs
+
+
+def evaluate_design_space(
+    num_qubits: int = 1024,
+    groups: Tuple[int, ...] = (2, 4, 8, 16),
+    bitstreams_min: Tuple[int, ...] = (2, 4),
+    bitstreams_opt: Tuple[int, ...] = (2, 4, 8, 16),
+) -> List[DesignCost]:
+    """Evaluate every Fig. 8 design point at the given device size."""
+    return [
+        evaluate_design(design, num_qubits)
+        for design in design_space(groups, bitstreams_min, bitstreams_opt)
+    ]

@@ -1,0 +1,129 @@
+"""Operator construction helpers for truncated-oscillator (transmon) models.
+
+All operators are returned as dense ``numpy`` arrays because the dimensions
+involved are tiny (single transmons are truncated to ~6 levels and coupled
+pairs to ~3-4 levels per transmon), and dense linear algebra is both simpler
+and faster at these sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Pauli matrices and friends (2-level / qubit subspace)
+# ---------------------------------------------------------------------------
+
+IDENTITY_2 = np.eye(2, dtype=complex)
+PAULI_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+PAULI_Y = np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=complex)
+PAULI_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+
+PAULIS = {"I": IDENTITY_2, "X": PAULI_X, "Y": PAULI_Y, "Z": PAULI_Z}
+
+
+def destroy(dim: int) -> np.ndarray:
+    """Annihilation (lowering) operator on a ``dim``-level truncated oscillator."""
+    if dim < 2:
+        raise ValueError(f"dimension must be >= 2, got {dim}")
+    op = np.zeros((dim, dim), dtype=complex)
+    for n in range(1, dim):
+        op[n - 1, n] = np.sqrt(n)
+    return op
+
+
+def create(dim: int) -> np.ndarray:
+    """Creation (raising) operator on a ``dim``-level truncated oscillator."""
+    return destroy(dim).conj().T
+
+
+def number(dim: int) -> np.ndarray:
+    """Number operator ``b† b`` on a ``dim``-level truncated oscillator."""
+    return np.diag(np.arange(dim, dtype=float)).astype(complex)
+
+
+def projector(dim: int, levels: Sequence[int] = (0, 1)) -> np.ndarray:
+    """Projector onto the given energy levels of a ``dim``-level system."""
+    proj = np.zeros((dim, dim), dtype=complex)
+    for level in levels:
+        if not 0 <= level < dim:
+            raise ValueError(f"level {level} outside of dimension {dim}")
+        proj[level, level] = 1.0
+    return proj
+
+
+def basis_state(dim: int, level: int) -> np.ndarray:
+    """Column vector for the Fock/energy eigenstate ``|level>``."""
+    if not 0 <= level < dim:
+        raise ValueError(f"level {level} outside of dimension {dim}")
+    state = np.zeros(dim, dtype=complex)
+    state[level] = 1.0
+    return state
+
+
+def embed_qubit_operator(op_2x2: np.ndarray, dim: int) -> np.ndarray:
+    """Embed a 2x2 qubit operator into the {|0>, |1>} subspace of ``dim`` levels.
+
+    The remaining levels are acted on as identity.  This is useful when a
+    target gate defined on the computational subspace has to be compared with
+    a multi-level propagator.
+    """
+    op_2x2 = np.asarray(op_2x2, dtype=complex)
+    if op_2x2.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 operator, got shape {op_2x2.shape}")
+    full = np.eye(dim, dtype=complex)
+    full[:2, :2] = op_2x2
+    return full
+
+
+def project_to_qubit(op: np.ndarray, levels: Sequence[int] = (0, 1)) -> np.ndarray:
+    """Project a multi-level operator onto the selected computational levels.
+
+    The result is in general *not* unitary; the deviation from unitarity
+    captures leakage out of the computational subspace and is accounted for by
+    :func:`repro.physics.fidelity.average_gate_fidelity`.
+    """
+    op = np.asarray(op, dtype=complex)
+    idx = np.asarray(levels, dtype=int)
+    return op[np.ix_(idx, idx)]
+
+
+def kron(*ops: np.ndarray) -> np.ndarray:
+    """Kronecker product of an arbitrary number of operators (left to right)."""
+    if not ops:
+        raise ValueError("kron requires at least one operator")
+    out = np.asarray(ops[0], dtype=complex)
+    for op in ops[1:]:
+        out = np.kron(out, np.asarray(op, dtype=complex))
+    return out
+
+
+def is_unitary(op: np.ndarray, atol: float = 1e-9) -> bool:
+    """Return True if ``op`` is unitary within absolute tolerance ``atol``."""
+    op = np.asarray(op, dtype=complex)
+    if op.ndim != 2 or op.shape[0] != op.shape[1]:
+        return False
+    ident = np.eye(op.shape[0], dtype=complex)
+    return bool(np.allclose(op.conj().T @ op, ident, atol=atol))
+
+
+def is_hermitian(op: np.ndarray, atol: float = 1e-9) -> bool:
+    """Return True if ``op`` is Hermitian within absolute tolerance ``atol``."""
+    op = np.asarray(op, dtype=complex)
+    if op.ndim != 2 or op.shape[0] != op.shape[1]:
+        return False
+    return bool(np.allclose(op, op.conj().T, atol=atol))
+
+
+def dagger(op: np.ndarray) -> np.ndarray:
+    """Hermitian conjugate."""
+    return np.asarray(op, dtype=complex).conj().T
+
+
+def commutator(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Commutator ``[a, b] = a b - b a``."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    return a @ b - b @ a

@@ -1,0 +1,179 @@
+"""SU(2) rotation utilities: rotation gates, Euler decompositions, comparisons.
+
+These helpers operate on 2x2 unitaries in the computational {|0>, |1>} basis
+and are used pervasively by the DigiQ decomposition and calibration code:
+
+* :func:`rx`, :func:`ry`, :func:`rz`, :func:`u3` build standard rotations;
+* :func:`zyz_angles` performs the Z-Y-Z Euler decomposition that underlies the
+  DigiQ_opt decomposition ``U = Rz(c) Ry(theta) Rz(a)``;
+* :func:`su2_distance` / :func:`equivalent_up_to_phase` compare unitaries in a
+  global-phase-insensitive way.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Tuple
+
+import numpy as np
+
+from .operators import PAULI_X, PAULI_Y, PAULI_Z
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation by ``theta`` around the x axis of the Bloch sphere."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation by ``theta`` around the y axis of the Bloch sphere."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(phi: float) -> np.ndarray:
+    """Rotation by ``phi`` around the z axis of the Bloch sphere."""
+    return np.array(
+        [[cmath.exp(-0.5j * phi), 0.0], [0.0, cmath.exp(0.5j * phi)]], dtype=complex
+    )
+
+
+def rotation(axis: Tuple[float, float, float], angle: float) -> np.ndarray:
+    """Rotation by ``angle`` around an arbitrary (not necessarily unit) axis."""
+    nx, ny, nz = axis
+    norm = math.sqrt(nx * nx + ny * ny + nz * nz)
+    if norm == 0.0:
+        raise ValueError("rotation axis must be non-zero")
+    nx, ny, nz = nx / norm, ny / norm, nz / norm
+    generator = nx * PAULI_X + ny * PAULI_Y + nz * PAULI_Z
+    return (
+        math.cos(angle / 2.0) * np.eye(2, dtype=complex)
+        - 1j * math.sin(angle / 2.0) * generator
+    )
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """The standard U3 gate, ``U3 = Rz(phi) Ry(theta) Rz(lam)`` up to phase.
+
+    This matches the OpenQASM/Qiskit convention:
+    ``U3(theta, phi, lam) = [[cos(t/2), -e^{i lam} sin(t/2)],
+                             [e^{i phi} sin(t/2), e^{i(phi+lam)} cos(t/2)]]``.
+    """
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def global_phase_aligned(unitary: np.ndarray) -> np.ndarray:
+    """Return ``unitary`` rescaled to have determinant 1 (an SU(2) representative).
+
+    The representative is further normalised so the first non-negligible
+    diagonal element has non-negative real part, making the output canonical
+    up to an overall sign ambiguity inherent to SU(2).
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    det = np.linalg.det(unitary)
+    if abs(det) < 1e-12:
+        raise ValueError("matrix is singular, not a unitary")
+    su2 = unitary / cmath.sqrt(det)
+    # Fix the sign ambiguity deterministically.
+    anchor = su2[0, 0] if abs(su2[0, 0]) > 1e-9 else su2[0, 1]
+    if anchor.real < 0 or (abs(anchor.real) < 1e-12 and anchor.imag < 0):
+        su2 = -su2
+    return su2
+
+
+def zyz_angles(unitary: np.ndarray) -> Tuple[float, float, float]:
+    """Z-Y-Z Euler angles ``(alpha, theta, beta)`` with ``U ~ Rz(beta) Ry(theta) Rz(alpha)``.
+
+    The decomposition is exact up to a global phase.  ``theta`` is returned in
+    ``[0, pi]``; ``alpha`` and ``beta`` are returned in ``(-pi, pi]``.
+    """
+    su2 = global_phase_aligned(unitary)
+    # su2 = [[ cos(t/2) e^{-i(a+b)/2}, -sin(t/2) e^{ i(a-b)/2}],
+    #        [ sin(t/2) e^{-i(a-b)/2},  cos(t/2) e^{ i(a+b)/2}]]
+    # with U = Rz(b) Ry(t) Rz(a).
+    cos_half = abs(su2[0, 0])
+    sin_half = abs(su2[1, 0])
+    theta = 2.0 * math.atan2(sin_half, cos_half)
+
+    if cos_half > 1e-9 and sin_half > 1e-9:
+        sum_angle = -2.0 * cmath.phase(su2[0, 0])
+        diff_angle = -2.0 * cmath.phase(su2[1, 0])
+        alpha = (sum_angle + diff_angle) / 2.0
+        beta = (sum_angle - diff_angle) / 2.0
+    elif sin_half <= 1e-9:
+        # Pure Z rotation: only alpha + beta is determined.
+        alpha = -2.0 * cmath.phase(su2[0, 0])
+        beta = 0.0
+    else:
+        # theta ~ pi: only alpha - beta is determined.
+        alpha = -2.0 * cmath.phase(su2[1, 0])
+        beta = 0.0
+
+    return _wrap_angle(alpha), theta, _wrap_angle(beta)
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap an angle into ``(-pi, pi]``."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+def wrap_angle(angle: float) -> float:
+    """Public alias of the internal angle wrapper (range ``(-pi, pi]``)."""
+    return _wrap_angle(angle)
+
+
+def circular_distance(a: float, b: float, period: float = 2.0 * math.pi) -> float:
+    """Smallest absolute distance between two angles on a circle of ``period``."""
+    diff = math.fmod(a - b, period)
+    if diff < 0:
+        diff += period
+    return min(diff, period - diff)
+
+
+def su2_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Phase-insensitive operator distance between two single-qubit unitaries.
+
+    Returns ``sqrt(1 - |tr(a† b)| / 2)`` which is zero iff the two unitaries
+    are equal up to global phase and grows monotonically with gate infidelity.
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    overlap = abs(np.trace(a.conj().T @ b)) / 2.0
+    overlap = min(overlap, 1.0)
+    return math.sqrt(max(0.0, 1.0 - overlap))
+
+
+def equivalent_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    """True if two unitaries are equal up to a global phase within ``atol``."""
+    return su2_distance(a, b) < atol
+
+
+def bloch_vector(state: np.ndarray) -> np.ndarray:
+    """Bloch vector (x, y, z) of a single-qubit pure state."""
+    state = np.asarray(state, dtype=complex).reshape(2)
+    norm = np.linalg.norm(state)
+    if norm < 1e-12:
+        raise ValueError("state vector must be non-zero")
+    state = state / norm
+    rho = np.outer(state, state.conj())
+    return np.real(
+        np.array(
+            [
+                np.trace(rho @ PAULI_X),
+                np.trace(rho @ PAULI_Y),
+                np.trace(rho @ PAULI_Z),
+            ]
+        )
+    )

@@ -1,0 +1,116 @@
+"""Functional tests for the Table IV NISQ benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.benchmarks import (
+    BENCHMARK_NAMES,
+    benchmark_suite,
+    bernstein_vazirani_circuit,
+    bernstein_vazirani_secret,
+    build_benchmark,
+    carry_lookahead_adder_circuit,
+    cuccaro_adder_circuit,
+    grover_sqrt_circuit,
+    ising_chain_circuit,
+    qgan_circuit,
+)
+from repro.circuits.builder import register_value
+from repro.circuits.simulator import dominant_bitstring, measure_probabilities, simulate
+
+
+class TestSuite:
+    def test_all_benchmarks_build(self):
+        suite = benchmark_suite(num_qubits=24)
+        assert set(suite) == set(BENCHMARK_NAMES)
+        for circuit in suite.values():
+            assert len(circuit) > 0
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            build_benchmark("nope")
+
+    def test_scaling_changes_size(self):
+        small = build_benchmark("bv", num_qubits=16)
+        large = build_benchmark("bv", num_qubits=64)
+        assert large.num_qubits > small.num_qubits
+
+
+class TestBernsteinVazirani:
+    def test_recovers_secret(self):
+        circuit = bernstein_vazirani_circuit(num_bits=7, seed=11)
+        expected = bernstein_vazirani_secret(circuit)
+        bitstring = dominant_bitstring(simulate(circuit))
+        # The ancilla (last qubit, leftmost character) ends in |1>; the data
+        # register holds the secret.
+        assert bitstring[0] == "1"
+        assert bitstring[1:] == expected
+
+    def test_explicit_secret_roundtrip(self):
+        secret = [1, 0, 1, 1, 0]
+        circuit = bernstein_vazirani_circuit(num_bits=5, secret=secret)
+        recovered = bernstein_vazirani_secret(circuit)
+        assert recovered == "".join(str(b) for b in reversed(secret))
+
+    def test_deterministic_given_seed(self):
+        a = bernstein_vazirani_circuit(num_bits=20, seed=3)
+        b = bernstein_vazirani_circuit(num_bits=20, seed=3)
+        assert bernstein_vazirani_secret(a) == bernstein_vazirani_secret(b)
+
+
+class TestAdders:
+    @pytest.mark.parametrize("a,b", [(3, 5), (7, 1), (0, 0), (15, 15)])
+    def test_cuccaro_adds_correctly(self, a, b):
+        circuit, layout = cuccaro_adder_circuit(num_bits=4, a_value=a, b_value=b)
+        bitstring = dominant_bitstring(simulate(circuit))
+        total = register_value(bitstring, list(layout.sum_register))
+        total += register_value(bitstring, [layout.carry_out]) << 4
+        assert total == a + b
+
+    @pytest.mark.parametrize("a,b", [(2, 3), (5, 6), (0, 7)])
+    def test_carry_lookahead_adds_correctly(self, a, b):
+        circuit, layout = carry_lookahead_adder_circuit(num_bits=3, a_value=a, b_value=b)
+        bitstring = dominant_bitstring(simulate(circuit))
+        total = register_value(bitstring, list(layout.sum_register))
+        assert total == a + b
+
+    def test_adder_operand_validation(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder_circuit(num_bits=2, a_value=9, b_value=0)
+
+    def test_cuccaro_restores_operand_a(self):
+        circuit, layout = cuccaro_adder_circuit(num_bits=3, a_value=5, b_value=2)
+        bitstring = dominant_bitstring(simulate(circuit))
+        assert register_value(bitstring, list(layout.a)) == 5
+
+
+class TestGroverSqrt:
+    def test_square_root_amplified(self):
+        circuit, layout = grover_sqrt_circuit(radicand=9, num_result_bits=3)
+        probs = measure_probabilities(simulate(circuit))
+        # Marginalise onto the result register and check 3 is the most likely value.
+        num_qubits = circuit.num_qubits
+        marginals = {}
+        for index, p in enumerate(probs):
+            if p < 1e-12:
+                continue
+            bits = format(index, f"0{num_qubits}b")
+            value = register_value(bits, list(layout.y))
+            marginals[value] = marginals.get(value, 0.0) + float(p)
+        assert max(marginals, key=marginals.get) == 3
+
+
+class TestParametricGenerators:
+    def test_ising_has_even_layer_structure(self):
+        circuit = ising_chain_circuit(num_qubits=8, num_steps=2)
+        assert circuit.count("rzz") > 0 or circuit.count("cz") > 0
+        assert circuit.num_qubits == 8
+
+    def test_qgan_deterministic_with_seed(self):
+        a = qgan_circuit(num_qubits=8, seed=5)
+        b = qgan_circuit(num_qubits=8, seed=5)
+        assert [g.params for g in a] == [g.params for g in b]
+
+    def test_qgan_has_entangling_layers(self):
+        circuit = qgan_circuit(num_qubits=8, seed=5)
+        assert circuit.num_two_qubit_gates() > 0

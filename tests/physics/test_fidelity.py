@@ -1,0 +1,106 @@
+"""Unit and property tests for repro.physics.fidelity."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.fidelity import (
+    average_gate_error,
+    average_gate_fidelity,
+    leakage,
+    leakage_projected_error,
+    leakage_projected_fidelity,
+    phase_corrected_two_qubit_error,
+    state_fidelity,
+)
+from repro.physics.operators import PAULI_X, embed_qubit_operator
+from repro.physics.rotations import rx, ry, rz, u3
+
+angles = st.floats(-math.pi, math.pi, allow_nan=False)
+
+
+class TestAverageGateFidelity:
+    def test_identical_gate_has_unit_fidelity(self):
+        gate = u3(0.7, 0.2, 1.1)
+        assert np.isclose(average_gate_fidelity(gate, gate), 1.0)
+
+    def test_global_phase_invariance(self):
+        gate = rx(0.3)
+        assert np.isclose(average_gate_fidelity(np.exp(1j * 0.9) * gate, gate), 1.0)
+
+    def test_orthogonal_gates(self):
+        # X vs I: F = (0 + 2) / 6 = 1/3.
+        assert np.isclose(average_gate_fidelity(PAULI_X, np.eye(2)), 1.0 / 3.0)
+
+    def test_small_rotation_error_quadratic(self):
+        delta = 1e-3
+        error = average_gate_error(rz(delta), np.eye(2))
+        assert np.isclose(error, delta**2 / 6.0, rtol=1e-3)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            average_gate_fidelity(np.eye(2), np.eye(4))
+
+    @given(angles, angles, angles)
+    @settings(max_examples=50, deadline=None)
+    def test_fidelity_bounded(self, theta, phi, lam):
+        value = average_gate_fidelity(u3(theta, phi, lam), np.eye(2))
+        assert 0.0 <= value <= 1.0
+
+
+class TestLeakage:
+    def test_unitary_on_subspace_has_no_leakage(self):
+        full = embed_qubit_operator(rx(0.4), 6)
+        assert leakage(full) < 1e-12
+        assert np.isclose(leakage_projected_fidelity(full, rx(0.4)), 1.0)
+
+    def test_swap_to_third_level_counts_as_leakage(self):
+        # A unitary moving |1> -> |2> entirely leaks half the subspace.
+        full = np.eye(4, dtype=complex)
+        full[1, 1] = 0.0
+        full[2, 2] = 0.0
+        full[1, 2] = 1.0
+        full[2, 1] = 1.0
+        assert np.isclose(leakage(full), 0.5)
+        assert leakage_projected_error(full, np.eye(2)) > 0.3
+
+
+class TestStateFidelity:
+    def test_identical_states(self):
+        state = np.array([0.6, 0.8j])
+        assert np.isclose(state_fidelity(state, state), 1.0)
+
+    def test_orthogonal_states(self):
+        assert np.isclose(state_fidelity([1, 0], [0, 1]), 0.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            state_fidelity([1, 0], [1, 0, 0])
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(ValueError):
+            state_fidelity([0, 0], [1, 0])
+
+
+class TestPhaseCorrectedTwoQubit:
+    def test_cz_with_local_phases_recovers_zero_error(self):
+        cz = np.diag([1, 1, 1, -1]).astype(complex)
+        corrupted = np.diag(np.kron([1, np.exp(0.4j)], [1, np.exp(-0.9j)])) @ cz
+        error = phase_corrected_two_qubit_error(corrupted, cz)
+        assert error < 1e-4
+
+    def test_genuinely_wrong_gate_keeps_error(self):
+        cz = np.diag([1, 1, 1, -1]).astype(complex)
+        iswap_like = np.eye(4, dtype=complex)
+        iswap_like[1, 1] = 0
+        iswap_like[2, 2] = 0
+        iswap_like[1, 2] = 1j
+        iswap_like[2, 1] = 1j
+        assert phase_corrected_two_qubit_error(iswap_like, cz) > 0.1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            phase_corrected_two_qubit_error(np.eye(2), np.eye(2))
