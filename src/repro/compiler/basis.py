@@ -123,14 +123,16 @@ def _rebase_gate(out: QuantumCircuit, gate: Gate) -> None:
         return
     if name == "iswap":
         a, b = gate.qubits
-        # iswap = (S ⊗ S) . H_a . CZ . H_a H_b . CZ . H_b  (standard identity)
+        # iswap = (S ⊗ S) . H_a . CX(a,b) . CX(b,a) . H_b, with each CX in CZ form.
         out.s(a)
         out.s(b)
         out.h(a)
-        out.cz(a, b)
-        out.h(a)
         out.h(b)
         out.cz(a, b)
+        out.h(b)
+        out.h(a)
+        out.cz(b, a)
+        out.h(a)
         out.h(b)
         return
     raise ValueError(f"no CZ-basis rule for two-qubit gate '{gate.name}'")

@@ -1,0 +1,38 @@
+"""Experiment runtime: a parallel, cached sweep engine over the Fig. 9 pipeline.
+
+The packages below this one model the paper; this package runs it at scale.
+A sweep is declared as a :class:`~repro.runtime.spec.SweepGrid` (benchmarks x
+DigiQ configs x seeds), expanded into content-addressed jobs, executed across
+a process pool with one compilation per benchmark instance, and cached in an
+on-disk :class:`~repro.runtime.store.ResultStore` so reruns and resumed
+sweeps skip completed work.  ``python -m repro.runtime`` is the CLI front end.
+"""
+
+from .dispatch import SweepReport, default_worker_count, run_sweep
+from .jobs import JobResult, circuit_fingerprint, job_key
+from .spec import (
+    CompileOptions,
+    ExperimentSpec,
+    SweepGrid,
+    config_from_dict,
+    config_to_dict,
+    parse_config,
+)
+from .store import ResultStore, canonical_json
+
+__all__ = [
+    "CompileOptions",
+    "ExperimentSpec",
+    "JobResult",
+    "ResultStore",
+    "SweepGrid",
+    "SweepReport",
+    "canonical_json",
+    "circuit_fingerprint",
+    "config_from_dict",
+    "config_to_dict",
+    "default_worker_count",
+    "job_key",
+    "parse_config",
+    "run_sweep",
+]

@@ -1,0 +1,15 @@
+"""Entry point for ``python -m repro.runtime``."""
+
+import os
+import sys
+
+from .cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # Downstream consumer (e.g. `| head`) closed the pipe early; exit quietly.
+    # Point stdout at devnull so the interpreter's shutdown flush cannot raise.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

@@ -1,0 +1,182 @@
+"""``python -m repro.runtime`` — run a benchmark x config sweep from the shell.
+
+With no arguments the CLI runs the default grid (three Table IV benchmarks x
+three DigiQ configurations at a small device size), prints cache accounting
+and a Fig. 9-style normalized-execution-time table, and leaves every job
+result in the on-disk store so the next invocation is pure cache hits.
+
+Examples::
+
+    python -m repro.runtime
+    python -m repro.runtime --benchmarks qgan ising bv add1 --configs opt8 min2
+    python -m repro.runtime --qubits 25 --seeds 0 1 2 --workers 4 --power
+    python -m repro.runtime --format json > sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.report import format_table
+from ..circuits.benchmarks import BENCHMARK_NAMES
+from ..core.architecture import DigiQConfig
+from ..hardware.budget import FridgeBudget, max_qubits_within_budget
+from ..hardware.controller_designs import ControllerDesign
+from .dispatch import SweepReport, default_worker_count, run_sweep
+from .spec import (
+    DEFAULT_BENCHMARKS,
+    DEFAULT_CONFIG_SPECS,
+    CompileOptions,
+    SweepGrid,
+    parse_config,
+)
+from .store import DEFAULT_STORE_DIR, ResultStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Run a cached, parallel DigiQ experiment sweep (Fig. 9 pipeline).",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=list(DEFAULT_BENCHMARKS),
+        metavar="NAME",
+        help=f"benchmarks to sweep (subset of {', '.join(BENCHMARK_NAMES)})",
+    )
+    parser.add_argument(
+        "--configs",
+        nargs="+",
+        default=list(DEFAULT_CONFIG_SPECS),
+        metavar="SPEC",
+        help="DigiQ configs as <variant><BS>[@g<G>] specs, e.g. opt8 min2 opt16@g4",
+    )
+    parser.add_argument(
+        "--qubits", type=int, default=16, help="target device size per benchmark (default 16)"
+    )
+    parser.add_argument(
+        "--seeds", nargs="+", type=int, default=[0], metavar="SEED",
+        help="benchmark/router seeds to sweep (default: 0)",
+    )
+    parser.add_argument(
+        "--layout", default="snake", choices=("snake", "trivial"),
+        help="initial layout strategy (default snake)",
+    )
+    parser.add_argument(
+        "--routing-trials", type=int, default=2, help="stochastic router trials (default 2)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: min(4, cpu count); 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_STORE_DIR,
+        help=f"result-store directory (default {DEFAULT_STORE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not populate the on-disk result store",
+    )
+    parser.add_argument(
+        "--power", action="store_true",
+        help="append the Sec. VI-A.3 power/scalability columns per config",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table", dest="output_format",
+        help="output format (default: aligned table)",
+    )
+    return parser
+
+
+def _power_rows(configs: Sequence[DigiQConfig], tile_qubits: int) -> List[Dict[str, object]]:
+    """Per-config power/scalability rows from the hardware cost model."""
+    rows = []
+    for config in configs:
+        design = ControllerDesign(
+            variant=f"digiq_{config.variant}",
+            groups=config.groups,
+            bitstreams=config.bitstreams,
+        )
+        result = max_qubits_within_budget(design, budget=FridgeBudget(), tile_qubits=tile_qubits)
+        rows.append(result.summary())
+    return rows
+
+
+def render_report(report: SweepReport, elapsed_s: float) -> str:
+    """The human-readable sweep banner plus the Fig. 9-style table."""
+    summary = report.summary()
+    accounting = f"{summary['computed']} computed, {summary['cached']} cached"
+    if summary["duplicates"]:
+        accounting += f", {summary['duplicates']} duplicate"
+    lines = [
+        (
+            f"sweep: {summary['benchmarks']} benchmarks x {summary['configs']} configs "
+            f"x {summary['seeds']} seeds = {summary['jobs']} jobs "
+            f"({accounting}) in {elapsed_s:.2f}s"
+        ),
+        "",
+        format_table(report.rows, title="Normalized execution time (Fig. 9)"),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        configs = tuple(parse_config(spec) for spec in args.configs)
+        grid = SweepGrid(
+            benchmarks=tuple(args.benchmarks),
+            configs=configs,
+            num_qubits=args.qubits,
+            seeds=tuple(args.seeds),
+            compile_options=CompileOptions(
+                layout_strategy=args.layout, routing_trials=args.routing_trials
+            ),
+        )
+    except (KeyError, ValueError) as error:
+        parser.error(str(error))
+
+    workers = args.workers if args.workers is not None else default_worker_count()
+    if workers < 1:
+        parser.error("--workers must be >= 1")
+
+    start = time.perf_counter()
+    if args.no_cache:
+        with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
+            report = run_sweep(grid, store=ResultStore(scratch), workers=workers)
+    else:
+        report = run_sweep(grid, store=ResultStore(args.cache_dir), workers=workers)
+    elapsed = time.perf_counter() - start
+
+    if args.output_format == "json":
+        payload = {
+            "summary": report.summary(),
+            "rows": report.rows,
+        }
+        if args.power:
+            payload["power"] = _power_rows(grid.configs, tile_qubits=max(64, args.qubits))
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+
+    print(render_report(report, elapsed))
+    if args.power:
+        print()
+        print(
+            format_table(
+                _power_rows(grid.configs, tile_qubits=max(64, args.qubits)),
+                title="Controller power & scalability (Sec. VI-A.3)",
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""The sweep dispatcher: cache lookup, compile-group batching, worker pool.
+
+:func:`run_sweep` turns a :class:`~repro.runtime.spec.SweepGrid` into result
+rows in three steps:
+
+1. expand the grid into jobs and compute each job's content-addressed key;
+2. split cache hits from misses against the :class:`~repro.runtime.store.ResultStore`;
+3. batch the misses by *compile group* — all configs of one benchmark
+   instance share a single compilation — and execute the groups either
+   serially or on a ``ProcessPoolExecutor``.
+
+Results are re-assembled in grid-expansion order, so a parallel run yields
+exactly the same row sequence (byte-identical under canonical JSON) as a
+serial run, and a resumed run as an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.benchmarks import build_benchmark
+from .jobs import JobResult, execute_compile_group, job_key, ordered_row
+from .spec import ExperimentSpec, SweepGrid, config_to_dict
+from .store import ResultStore
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one sweep: ordered rows plus cache accounting."""
+
+    grid: SweepGrid
+    keys: List[str]
+    results: List[JobResult]
+    computed_keys: List[str] = field(default_factory=list)
+    cached_keys: List[str] = field(default_factory=list)
+    duplicate_keys: List[str] = field(default_factory=list)
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        """Fig. 9-style rows in grid order (the sweep's primary artifact).
+
+        Column order is canonicalised so cached and freshly computed rows
+        render (and serialize) identically.
+        """
+        return [ordered_row(result.row) for result in self.results]
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.keys)
+
+    @property
+    def num_computed(self) -> int:
+        return len(self.computed_keys)
+
+    @property
+    def num_cached(self) -> int:
+        return len(self.cached_keys)
+
+    @property
+    def num_duplicates(self) -> int:
+        """Grid positions whose key repeats an earlier position (shared work)."""
+        return len(self.duplicate_keys)
+
+    def summary(self) -> Dict[str, object]:
+        """Headline accounting for logs and the CLI banner.
+
+        ``computed + cached + duplicates == jobs`` always holds.
+        """
+        return {
+            "jobs": self.num_jobs,
+            "computed": self.num_computed,
+            "cached": self.num_cached,
+            "duplicates": self.num_duplicates,
+            "benchmarks": len(self.grid.benchmarks),
+            "configs": len(self.grid.configs),
+            "seeds": len(self.grid.seeds),
+        }
+
+
+def default_worker_count() -> int:
+    """Worker-pool size when the caller does not pin one (bounded, >= 1)."""
+    return max(1, min(4, (os.cpu_count() or 1)))
+
+
+def compute_job_keys(specs: Sequence[ExperimentSpec]) -> List[str]:
+    """Content keys for a list of jobs, building each benchmark circuit once."""
+    circuits: Dict[Tuple[str, int, int], object] = {}
+    keys = []
+    for spec in specs:
+        ident = (spec.benchmark, spec.num_qubits, spec.seed)
+        if ident not in circuits:
+            circuits[ident] = build_benchmark(
+                spec.benchmark, num_qubits=spec.num_qubits, seed=spec.seed
+            )
+        keys.append(job_key(spec, circuit=circuits[ident]))
+    return keys
+
+
+def _group_payloads(
+    specs: Sequence[ExperimentSpec], keys: Sequence[str], missing: Sequence[int]
+) -> List[Dict[str, object]]:
+    """Batch cache-missing jobs into per-compile-group worker payloads."""
+    groups: Dict[Tuple[object, ...], Dict[str, object]] = {}
+    for index in missing:
+        spec = specs[index]
+        payload = groups.get(spec.compile_group)
+        if payload is None:
+            payload = {
+                "benchmark": spec.benchmark,
+                "num_qubits": spec.num_qubits,
+                "seed": spec.seed,
+                "compile": spec.compile_options.as_dict(),
+                "jobs": [],
+            }
+            groups[spec.compile_group] = payload
+        payload["jobs"].append({"key": keys[index], "config": config_to_dict(spec.config)})
+    return list(groups.values())
+
+
+def run_sweep(
+    grid: SweepGrid,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+) -> SweepReport:
+    """Run (or resume) a sweep, returning rows in deterministic grid order.
+
+    Parameters
+    ----------
+    grid:
+        The sweep axes.
+    store:
+        Result cache; defaults to :class:`ResultStore`'s default directory.
+        Completed jobs found in the store are never recomputed.
+    workers:
+        ``1`` executes compile groups serially in-process; ``> 1`` fans them
+        out over a ``ProcessPoolExecutor`` of that size.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    store = store if store is not None else ResultStore()
+
+    specs = grid.expand()
+    keys = compute_job_keys(specs)
+
+    by_key: Dict[str, JobResult] = {}
+    cached_keys: List[str] = []
+    duplicate_keys: List[str] = []
+    missing_indices: List[int] = []
+    seen = set()
+    for index, key in enumerate(keys):
+        if key in seen:  # duplicate axis entry: one computation serves both
+            duplicate_keys.append(key)
+            continue
+        seen.add(key)
+        stored = store.get(key)
+        if stored is not None:
+            by_key[key] = JobResult.from_dict(stored)
+            cached_keys.append(key)
+        else:
+            missing_indices.append(index)
+
+    payloads = _group_payloads(specs, keys, missing_indices)
+
+    def persist(batch: Sequence[Dict[str, object]]) -> None:
+        for result_dict in batch:
+            result = JobResult.from_dict(result_dict)
+            store.put(result.key, result.as_dict())
+            by_key[result.key] = result
+
+    if payloads:
+        # Each group's results are persisted as soon as that group finishes,
+        # so an interrupted sweep keeps every completed group and a resumed
+        # run only recomputes the remainder.
+        if workers == 1 or len(payloads) == 1:
+            for payload in payloads:
+                persist(execute_compile_group(payload))
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+                futures = [pool.submit(execute_compile_group, p) for p in payloads]
+                for future in as_completed(futures):
+                    persist(future.result())
+    # Deterministic accounting order regardless of worker completion order.
+    computed_keys = [job["key"] for payload in payloads for job in payload["jobs"]]
+
+    results = [by_key[key] for key in keys]
+    return SweepReport(
+        grid=grid,
+        keys=keys,
+        results=results,
+        computed_keys=computed_keys,
+        cached_keys=cached_keys,
+        duplicate_keys=duplicate_keys,
+    )

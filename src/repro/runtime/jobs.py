@@ -1,0 +1,199 @@
+"""Content-addressed job identity and the worker that executes jobs.
+
+A job's *key* is a SHA-256 over everything that determines its result: the
+exact gate stream of the benchmark circuit, the compiler options, and the
+DigiQ configuration.  Two sweeps that build the same circuit and schedule it
+the same way therefore share cache entries, regardless of how the sweep was
+phrased — the result store is content-addressed, not name-addressed.
+
+:func:`execute_compile_group` is the unit of work the dispatcher sends to a
+worker process: it compiles one benchmark instance *once* and evaluates every
+requested configuration against that single compilation, which is what makes
+wide config sweeps cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..circuits.benchmarks import build_benchmark
+from ..circuits.circuit import QuantumCircuit
+from ..compiler.pipeline import CompiledCircuit, compile_circuit
+from ..core.execution import normalized_execution_time
+from .spec import CompileOptions, ExperimentSpec, config_from_dict, config_to_dict
+from .store import canonical_json
+
+#: Bump when the result row schema changes; part of every job key so stale
+#: cache entries from older schema versions are never reused.
+RESULT_SCHEMA_VERSION = 1
+
+#: Canonical column order of a result row.  Stored entries round-trip through
+#: sorted-key JSON, so presentation order is re-imposed from this list.
+ROW_COLUMNS = (
+    "benchmark",
+    "design",
+    "seed",
+    "digiq_time_us",
+    "mimd_time_us",
+    "normalized_time",
+    "serialization_overhead",
+    "logical_qubits",
+    "physical_qubits",
+    "cz_gates",
+    "swaps",
+    "depth",
+)
+
+
+def ordered_row(row: Dict[str, object]) -> Dict[str, object]:
+    """A copy of one result row with columns in canonical presentation order."""
+    known = {col: row[col] for col in ROW_COLUMNS if col in row}
+    extras = {col: row[col] for col in sorted(row) if col not in known}
+    known.update(extras)
+    return known
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """Stable SHA-256 fingerprint of a circuit's exact gate stream.
+
+    Parameters are formatted to 13 significant figures (with ``-0.0``
+    normalised to ``0.0``) so the fingerprint is stable against float
+    formatting artefacts while still distinguishing any two physically
+    different circuits.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"{circuit.num_qubits}\n".encode())
+    for gate in circuit:
+        params = ",".join(f"{p + 0.0:.12e}" for p in gate.params)
+        hasher.update(f"{gate.name}:{gate.qubits}:{params}\n".encode())
+    return hasher.hexdigest()
+
+
+def job_key(spec: ExperimentSpec, circuit: Optional[QuantumCircuit] = None) -> str:
+    """Content hash identifying one job's result.
+
+    The key covers the circuit contents (not just the benchmark name), the
+    compile options, and the full configuration, so any change to a benchmark
+    generator, the compiler knobs, or an architecture parameter produces a
+    fresh key and a clean recompute instead of a stale cache hit.
+    """
+    if circuit is None:
+        circuit = build_benchmark(spec.benchmark, num_qubits=spec.num_qubits, seed=spec.seed)
+    payload = {
+        "schema": RESULT_SCHEMA_VERSION,
+        "circuit": circuit_fingerprint(circuit),
+        "compile": spec.compile_options.as_dict(),
+        "compile_seed": spec.seed,
+        "config": config_to_dict(spec.config),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One executed job: its key, identity, and the Fig. 9-style result row."""
+
+    key: str
+    spec: Dict[str, object]
+    row: Dict[str, object]
+    elapsed_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "key": self.key,
+            "spec": self.spec,
+            "row": self.row,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "JobResult":
+        return JobResult(
+            key=data["key"],
+            spec=data["spec"],
+            row=data["row"],
+            elapsed_s=data.get("elapsed_s", 0.0),
+        )
+
+
+def _result_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, object]:
+    """The Fig. 9 row for one (compiled benchmark, config) pair, with compile stats."""
+    estimate = normalized_execution_time(compiled, spec.config, benchmark_name=spec.benchmark)
+    row = estimate.as_row()
+    row.update(
+        {
+            "seed": spec.seed,
+            "logical_qubits": compiled.source.num_qubits,
+            "physical_qubits": compiled.coupling.num_qubits,
+            "cz_gates": compiled.num_cz_gates,
+            "swaps": compiled.num_swaps,
+            "depth": compiled.depth,
+        }
+    )
+    return row
+
+
+def compile_spec(spec: ExperimentSpec) -> CompiledCircuit:
+    """Build and compile the benchmark instance one spec describes."""
+    circuit = build_benchmark(spec.benchmark, num_qubits=spec.num_qubits, seed=spec.seed)
+    return compile_circuit(
+        circuit,
+        layout_strategy=spec.compile_options.layout_strategy,
+        seed=spec.seed,
+        routing_trials=spec.compile_options.routing_trials,
+    )
+
+
+def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Execute all jobs of one compile group; the worker-process entry point.
+
+    ``payload`` is plain JSON-able data (it must cross a process boundary)::
+
+        {"benchmark": ..., "num_qubits": ..., "seed": ...,
+         "compile": {"layout_strategy": ..., "routing_trials": ...},
+         "jobs": [{"key": ..., "config": <config dict>}, ...]}
+
+    The benchmark is built and compiled exactly once; each job then only pays
+    for SIMD scheduling under its own configuration.  Returns the stored-form
+    result dicts in the payload's job order.
+    """
+    options = CompileOptions(**payload["compile"])
+    base = ExperimentSpec(
+        benchmark=payload["benchmark"],
+        config=config_from_dict(payload["jobs"][0]["config"]),
+        num_qubits=payload["num_qubits"],
+        seed=payload["seed"],
+        compile_options=options,
+    )
+    start = time.perf_counter()
+    compiled = compile_spec(base)
+    compile_elapsed = time.perf_counter() - start
+
+    results: List[Dict[str, object]] = []
+    for index, job in enumerate(payload["jobs"]):
+        spec = ExperimentSpec(
+            benchmark=payload["benchmark"],
+            config=config_from_dict(job["config"]),
+            num_qubits=payload["num_qubits"],
+            seed=payload["seed"],
+            compile_options=options,
+        )
+        start = time.perf_counter()
+        row = _result_row(spec, compiled)
+        elapsed = time.perf_counter() - start
+        # Attribute the shared compile cost to the group's first job so the
+        # summed elapsed time of a sweep reflects real work done.
+        if index == 0:
+            elapsed += compile_elapsed
+        result = JobResult(
+            key=job["key"],
+            spec=spec.describe(),
+            row=row,
+            elapsed_s=round(elapsed, 6),
+        )
+        results.append(result.as_dict())
+    return results

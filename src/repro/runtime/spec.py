@@ -1,0 +1,181 @@
+"""Declarative experiment specifications for the sweep engine.
+
+An :class:`ExperimentSpec` names one *job*: a Table IV benchmark instance,
+the compiler options used to lower it, and one DigiQ configuration to
+schedule it on.  A :class:`SweepGrid` is the cartesian product
+``benchmarks x configs x seeds`` and expands into the deterministic, ordered
+list of jobs the dispatcher executes.
+
+Configurations are referred to either as :class:`~repro.core.architecture.DigiQConfig`
+objects or as short spec strings (``"opt8"``, ``"min2"``, ``"opt16@g4"``)
+that the CLI accepts; :func:`parse_config` converts the latter, and
+:func:`config_to_dict` / :func:`config_from_dict` give the canonical JSON
+form used for hashing and on-disk results.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Tuple, Union
+
+from ..circuits.benchmarks import BENCHMARK_NAMES
+from ..core.architecture import DigiQConfig
+
+#: Default sweep axes used by ``python -m repro.runtime`` with no arguments.
+DEFAULT_BENCHMARKS: Tuple[str, ...] = ("qgan", "ising", "bv")
+DEFAULT_CONFIG_SPECS: Tuple[str, ...] = ("opt8", "opt16", "min2")
+
+_CONFIG_SPEC_RE = re.compile(r"^(opt|min)(\d+)(?:@g(\d+))?$")
+
+
+def parse_config(spec: Union[str, DigiQConfig]) -> DigiQConfig:
+    """Build a :class:`DigiQConfig` from a short spec string.
+
+    The grammar is ``<variant><BS>[@g<G>]``: ``"opt8"`` is DigiQ_opt with
+    BS=8, ``"min2"`` DigiQ_min with BS=2, ``"opt16@g4"`` DigiQ_opt with
+    BS=16 and 4 SIMD groups.  A :class:`DigiQConfig` passes through.
+    """
+    if isinstance(spec, DigiQConfig):
+        return spec
+    match = _CONFIG_SPEC_RE.match(spec.strip().lower())
+    if not match:
+        raise ValueError(
+            f"bad config spec '{spec}'; expected e.g. 'opt8', 'min2', 'opt16@g4'"
+        )
+    variant, bitstreams, groups = match.group(1), int(match.group(2)), match.group(3)
+    kwargs = {"bitstreams": bitstreams}
+    if groups is not None:
+        kwargs["groups"] = int(groups)
+    return DigiQConfig.opt(**kwargs) if variant == "opt" else DigiQConfig.minimal(**kwargs)
+
+
+def config_to_dict(config: DigiQConfig) -> Dict[str, object]:
+    """Canonical JSON-ready dict form of a configuration (stable key order)."""
+    data = asdict(config)
+    data["parking_frequencies"] = list(data["parking_frequencies"])
+    return {key: data[key] for key in sorted(data)}
+
+
+def config_from_dict(data: Dict[str, object]) -> DigiQConfig:
+    """Inverse of :func:`config_to_dict`."""
+    payload = dict(data)
+    payload["parking_frequencies"] = tuple(payload["parking_frequencies"])
+    return DigiQConfig(**payload)
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Compiler-pipeline knobs that are part of a job's identity."""
+
+    layout_strategy: str = "snake"
+    routing_trials: int = 2
+
+    def __post_init__(self) -> None:
+        if self.layout_strategy not in ("snake", "trivial"):
+            raise ValueError(f"unknown layout strategy '{self.layout_strategy}'")
+        if self.routing_trials < 1:
+            raise ValueError("routing_trials must be >= 1")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"layout_strategy": self.layout_strategy, "routing_trials": self.routing_trials}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One schedulable job: benchmark instance x compile options x config.
+
+    ``seed`` seeds both the benchmark generator and the stochastic router, so
+    one integer fully pins the job's randomness.
+    """
+
+    benchmark: str
+    config: DigiQConfig
+    num_qubits: int = 16
+    seed: int = 0
+    compile_options: CompileOptions = field(default_factory=CompileOptions)
+
+    def __post_init__(self) -> None:
+        name = self.benchmark.lower()
+        if name not in BENCHMARK_NAMES:
+            raise ValueError(f"unknown benchmark '{self.benchmark}'; known: {BENCHMARK_NAMES}")
+        object.__setattr__(self, "benchmark", name)
+        if self.num_qubits < 2:
+            raise ValueError("num_qubits must be >= 2")
+
+    # -- grouping -------------------------------------------------------------------
+
+    @property
+    def compile_group(self) -> Tuple[object, ...]:
+        """Jobs sharing this tuple share one compilation (config-independent)."""
+        return (
+            self.benchmark,
+            self.num_qubits,
+            self.seed,
+            self.compile_options.layout_strategy,
+            self.compile_options.routing_trials,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Identity of the job as a plain dict (used in stored results)."""
+        return {
+            "benchmark": self.benchmark,
+            "num_qubits": self.num_qubits,
+            "seed": self.seed,
+            "compile": self.compile_options.as_dict(),
+            "config": config_to_dict(self.config),
+        }
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The cartesian product of sweep axes, expanded in deterministic order.
+
+    Expansion order is benchmarks (outer) x seeds x configs (inner), which
+    keeps all configs of one compiled benchmark adjacent — the dispatcher
+    compiles each (benchmark, seed) once and reuses it across configs.
+    """
+
+    benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS
+    configs: Tuple[DigiQConfig, ...] = field(
+        default_factory=lambda: tuple(parse_config(s) for s in DEFAULT_CONFIG_SPECS)
+    )
+    num_qubits: int = 16
+    seeds: Tuple[int, ...] = (0,)
+    compile_options: CompileOptions = field(default_factory=CompileOptions)
+
+    def __post_init__(self) -> None:
+        if not self.configs:
+            raise ValueError("a sweep needs at least one config")
+        object.__setattr__(self, "configs", tuple(parse_config(c) for c in self.configs))
+        benchmarks = tuple(b.lower() for b in self.benchmarks)
+        for name in benchmarks:
+            if name not in BENCHMARK_NAMES:
+                raise ValueError(f"unknown benchmark '{name}'; known: {BENCHMARK_NAMES}")
+        object.__setattr__(self, "benchmarks", benchmarks)
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if not self.benchmarks:
+            raise ValueError("a sweep needs at least one benchmark")
+        if not self.seeds:
+            raise ValueError("a sweep needs at least one seed")
+        if self.num_qubits < 2:
+            raise ValueError("num_qubits must be >= 2")
+
+    def __len__(self) -> int:
+        return len(self.benchmarks) * len(self.seeds) * len(self.configs)
+
+    def expand(self) -> List[ExperimentSpec]:
+        """All jobs of the grid, in deterministic order."""
+        return list(self._iter_specs())
+
+    def _iter_specs(self) -> Iterator[ExperimentSpec]:
+        for benchmark in self.benchmarks:
+            for seed in self.seeds:
+                for config in self.configs:
+                    yield ExperimentSpec(
+                        benchmark=benchmark,
+                        config=config,
+                        num_qubits=self.num_qubits,
+                        seed=seed,
+                        compile_options=self.compile_options,
+                    )

@@ -1,0 +1,103 @@
+"""Content-addressed on-disk result store.
+
+Results live as one canonical-JSON file per job under the store root,
+named ``<first two key hex chars>/<key>.json`` (sharded so huge sweeps do
+not create million-entry directories).  Because filenames are content
+hashes, a store can be shared by unrelated sweeps, resumed after an
+interrupted run, or copied between machines; writers use write-to-temp +
+atomic rename so a crashed worker never leaves a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Default store location, relative to the current working directory.
+DEFAULT_STORE_DIR = ".repro_cache/sweeps"
+
+
+def canonical_json(data: Dict[str, object]) -> str:
+    """The canonical serialized form: sorted keys, minimal separators."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """A directory of content-addressed job results."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else Path(DEFAULT_STORE_DIR)
+
+    # -- addressing -----------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """On-disk path of one job key."""
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed job key '{key}'")
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- reads ----------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored result dict for a key, or None on a cache miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            # A torn/corrupt entry is treated as a miss; the dispatcher will
+            # recompute and atomically replace it.
+            return None
+
+    def __contains__(self, key: str) -> bool:
+        # Delegates to get() so a torn/corrupt entry reads as absent, exactly
+        # as it does for every other read path.
+        return self.get(key) is not None
+
+    def keys(self) -> List[str]:
+        """All stored job keys (sorted)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- writes ---------------------------------------------------------------------
+
+    def put(self, key: str, result: Dict[str, object]) -> Path:
+        """Atomically persist one result dict under its key."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                tmp.write(canonical_json(result))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def discard(self, key: str) -> bool:
+        """Remove one entry; returns whether it existed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for key in self.keys():
+            removed += self.discard(key)
+        return removed

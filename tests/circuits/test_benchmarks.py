@@ -85,10 +85,10 @@ class TestAdders:
 
 
 class TestGroverSqrt:
-    def test_square_root_amplified(self):
-        circuit, layout = grover_sqrt_circuit(radicand=9, num_result_bits=3)
+    @staticmethod
+    def dominant_root(circuit, layout):
+        """Most likely value of the result register after the search."""
         probs = measure_probabilities(simulate(circuit))
-        # Marginalise onto the result register and check 3 is the most likely value.
         num_qubits = circuit.num_qubits
         marginals = {}
         for index, p in enumerate(probs):
@@ -97,7 +97,19 @@ class TestGroverSqrt:
             bits = format(index, f"0{num_qubits}b")
             value = register_value(bits, list(layout.y))
             marginals[value] = marginals.get(value, 0.0) + float(p)
-        assert max(marginals, key=marginals.get) == 3
+        return max(marginals, key=marginals.get)
+
+    def test_square_root_amplified(self):
+        # 2 result bits keep the simulation at 16 qubits so the default
+        # (non-slow) run stays fast; the 3-bit paper-shaped instance below is
+        # the same code path at 23 qubits.
+        circuit, layout = grover_sqrt_circuit(radicand=9, num_result_bits=2)
+        assert self.dominant_root(circuit, layout) == 3
+
+    @pytest.mark.slow
+    def test_square_root_amplified_three_bits(self):
+        circuit, layout = grover_sqrt_circuit(radicand=9, num_result_bits=3)
+        assert self.dominant_root(circuit, layout) == 3
 
 
 class TestParametricGenerators:

@@ -1,0 +1,92 @@
+"""Smoke tests for the ``python -m repro.runtime`` CLI."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.cli import main
+
+CLI_ARGS = [
+    "--benchmarks", "bv", "ising",
+    "--configs", "opt8", "min2",
+    "--qubits", "8",
+]
+
+
+class TestMain:
+    def test_table_output_and_cache_banner(self, tmp_path, capsys):
+        assert main(CLI_ARGS + ["--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs (4 computed, 0 cached)" in out
+        assert "Normalized execution time (Fig. 9)" in out
+        assert "DigiQ_opt(BS=8)" in out
+
+        assert main(CLI_ARGS + ["--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs (0 computed, 4 cached)" in out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        assert main(CLI_ARGS + ["--cache-dir", str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["jobs"] == 4
+        assert len(payload["rows"]) == 4
+        assert payload["rows"][0]["benchmark"] == "bv"
+
+    def test_power_table_rendered(self, tmp_path, capsys):
+        args = CLI_ARGS + ["--cache-dir", str(tmp_path), "--power"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Controller power & scalability" in out
+        assert "power_per_qubit_mw" in out
+
+    def test_no_cache_leaves_no_store(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(CLI_ARGS + ["--no-cache"]) == 0
+        assert "computed" in capsys.readouterr().out
+        assert not (tmp_path / ".repro_cache").exists()
+
+    def test_bad_config_spec_errors_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(CLI_ARGS[:-2] + ["--configs", "warp9", "--cache-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_bad_benchmark_errors_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--benchmarks", "nope", "--cache-dir", str(tmp_path)])
+
+    def test_bad_qubit_count_errors_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--qubits", "1", "--cache-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_duplicate_configs_accounted_in_banner(self, tmp_path, capsys):
+        args = [
+            "--benchmarks", "bv",
+            "--configs", "opt8", "opt8",
+            "--qubits", "8",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        assert "2 jobs (1 computed, 0 cached, 1 duplicate)" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_runs_a_sweep(self, tmp_path):
+        """`python -m repro.runtime` end-to-end, as the acceptance criteria demand."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.runtime"]
+            + CLI_ARGS
+            + ["--cache-dir", str(tmp_path), "--workers", "2"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "4 jobs (4 computed, 0 cached)" in result.stdout

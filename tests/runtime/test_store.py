@@ -1,0 +1,60 @@
+"""Tests for the content-addressed on-disk result store."""
+
+import pytest
+
+from repro.runtime.store import ResultStore, canonical_json
+
+KEY_A = "ab" + "0" * 62
+KEY_B = "cd" + "1" * 62
+
+
+class TestResultStore:
+    def test_miss_then_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY_A) is None
+        assert KEY_A not in store
+        payload = {"row": {"benchmark": "bv"}, "key": KEY_A}
+        store.put(KEY_A, payload)
+        assert KEY_A in store
+        assert store.get(KEY_A) == payload
+
+    def test_entries_are_sharded_by_key_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, {"x": 1})
+        assert path.parent.name == KEY_A[:2]
+
+    def test_keys_len_discard_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store.put(KEY_B, {"x": 2})
+        assert store.keys() == sorted([KEY_A, KEY_B])
+        assert len(store) == 2
+        assert store.discard(KEY_A) is True
+        assert store.discard(KEY_A) is False
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, {"x": 1})
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get(KEY_A) is None
+        assert KEY_A not in store  # membership agrees with get()
+
+    def test_put_replaces_atomically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"x": 1})
+        store.put(KEY_A, {"x": 2})
+        assert store.get(KEY_A) == {"x": 2}
+        # no stray temp files left behind
+        assert all(not p.name.endswith(".tmp") for p in tmp_path.rglob("*"))
+
+    @pytest.mark.parametrize("bad", ["", "xy", "ZZ" + "0" * 62, "../escape"])
+    def test_malformed_keys_rejected(self, tmp_path, bad):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path).path_for(bad)
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
