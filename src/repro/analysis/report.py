@@ -54,6 +54,71 @@ def format_series(name: str, values: Iterable[float], precision: int = 4) -> str
     return f"{name}: [{formatted}]"
 
 
+def summarize_fidelity(rows: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """Aggregate Monte-Carlo fidelity columns over seeds, per benchmark x design.
+
+    Consumes sweep rows carrying the ``success_probability`` /
+    ``state_fidelity`` / ``trajectories`` columns produced by fidelity-enabled
+    jobs (rows whose device exceeded the simulation cap report null columns
+    and are counted as skipped).  Returns one row per (benchmark, design)
+    pair, in first-appearance order.
+    """
+    grouped: Dict[tuple, Dict[str, object]] = {}
+    for row in rows:
+        if "success_probability" not in row:
+            continue
+        key = (row.get("benchmark"), row.get("design"))
+        bucket = grouped.setdefault(
+            key,
+            {
+                "benchmark": row.get("benchmark"),
+                "design": row.get("design"),
+                "seeds": 0,
+                "skipped": 0,
+                "success": [],
+                "ideal": [],
+                "fidelity": [],
+                "trajectories": 0,
+            },
+        )
+        bucket["seeds"] += 1
+        if row.get("success_probability") is None:
+            bucket["skipped"] += 1
+            continue
+        bucket["success"].append(float(row["success_probability"]))
+        bucket["ideal"].append(float(row.get("ideal_success") or 0.0))
+        bucket["fidelity"].append(float(row["state_fidelity"]))
+        bucket["trajectories"] += int(row.get("trajectories", 0))
+
+    summary = []
+    for bucket in grouped.values():
+        successes, fidelities = bucket["success"], bucket["fidelity"]
+        summary.append(
+            {
+                "benchmark": bucket["benchmark"],
+                "design": bucket["design"],
+                "seeds": bucket["seeds"],
+                "trajectories": bucket["trajectories"],
+                "mean_success_probability": (
+                    round(sum(successes) / len(successes), 6) if successes else None
+                ),
+                "min_success_probability": (
+                    round(min(successes), 6) if successes else None
+                ),
+                "ideal_success": (
+                    round(sum(bucket["ideal"]) / len(bucket["ideal"]), 6)
+                    if bucket["ideal"]
+                    else None
+                ),
+                "mean_state_fidelity": (
+                    round(sum(fidelities) / len(fidelities), 6) if fidelities else None
+                ),
+                "skipped": bucket["skipped"],
+            }
+        )
+    return summary
+
+
 def comparison_row(
     experiment: str, paper_value: object, measured_value: object, note: str = ""
 ) -> Dict[str, object]:

@@ -14,6 +14,7 @@ from .library import (
 )
 from .simulator import (
     apply_gate,
+    apply_matrix,
     basis_state_index,
     circuit_unitary,
     dominant_bitstring,
@@ -31,6 +32,7 @@ __all__ = [
     "KNOWN_GATES",
     "QuantumCircuit",
     "apply_gate",
+    "apply_matrix",
     "basis_state_index",
     "circuit_unitary",
     "dominant_bitstring",

@@ -5,6 +5,12 @@ ordering (qubit 0 is the least-significant basis-index bit), no noise.  It is
 used by the test suite to check that benchmark generators and compiler passes
 preserve circuit semantics on small instances, and by the examples to show
 end-to-end correctness of compiled circuits.
+
+Statevectors may carry arbitrary leading *batch* axes: a ``(B, 2**n)`` array
+is ``B`` independent trajectories advanced in lockstep by one vectorized
+matrix application per gate.  :mod:`repro.simulation` relies on this to run
+Monte-Carlo noise trajectories at a fraction of the cost of ``B`` sequential
+:func:`simulate` calls.
 """
 
 from __future__ import annotations
@@ -21,14 +27,24 @@ from .library import gate_matrix
 def zero_state(num_qubits: int) -> np.ndarray:
     """The all-zeros computational basis state."""
     if num_qubits < 1:
-        raise ValueError("need at least one qubit")
+        raise ValueError(f"a circuit needs at least one qubit, got {num_qubits}")
     state = np.zeros(2**num_qubits, dtype=complex)
     state[0] = 1.0
     return state
 
 
-def basis_state_index(bits: Sequence[int]) -> int:
-    """Index of the basis state with the given per-qubit bits (qubit 0 first)."""
+def basis_state_index(bits: Sequence[int], num_qubits: Optional[int] = None) -> int:
+    """Index of the basis state with the given per-qubit bits (qubit 0 first).
+
+    When ``num_qubits`` is given, the bit list must describe exactly that
+    register width; a mismatch raises ``ValueError`` instead of silently
+    addressing a state of a differently-sized register.
+    """
+    bits = list(bits)
+    if num_qubits is not None and len(bits) != num_qubits:
+        raise ValueError(
+            f"got {len(bits)} bits for a register of {num_qubits} qubits"
+        )
     index = 0
     for position, bit in enumerate(bits):
         if bit not in (0, 1):
@@ -37,46 +53,90 @@ def basis_state_index(bits: Sequence[int]) -> int:
     return index
 
 
-def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
-    """Apply one gate to a statevector and return the new statevector."""
-    matrix = gate_matrix(gate)
-    targets = gate.qubits
+def apply_matrix(
+    state: np.ndarray, matrix: np.ndarray, targets: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a ``2**k x 2**k`` unitary to ``targets`` of a (batched) statevector.
+
+    ``state`` has shape ``(..., 2**num_qubits)``; any leading axes are batch
+    dimensions and every batch entry is advanced by the same matrix in one
+    vectorized contraction.  ``matrix`` uses little-endian ordering of
+    ``targets`` (operand 0 is the least-significant bit), matching
+    :func:`repro.circuits.library.gate_matrix`.
+
+    The hot path avoids axis-transposition copies entirely: the flat vector
+    is reshaped (free, because qubit axes stay in significance order) into
+    ``(batch, gap, 2, gap, 2, ..., tail)`` with one explicit axis per target
+    qubit, and each output slice is a linear combination of strided input
+    slices.  Zero matrix entries are skipped, so permutation-like (``cx``)
+    and diagonal (``cz``, ``rz``) gates touch only the amplitudes they move.
+    """
+    state = np.asarray(state, dtype=complex)
+    matrix = np.asarray(matrix, dtype=complex)
+    targets = tuple(int(q) for q in targets)
     k = len(targets)
-    state = np.asarray(state, dtype=complex).reshape([2] * num_qubits)
-    # numpy tensor axes: axis 0 corresponds to the most significant qubit
-    # (qubit num_qubits-1) because of how reshape orders bits; convert.
-    axes = [num_qubits - 1 - q for q in targets]
-    # Move target axes to the front, apply the matrix, move them back.
-    state = np.moveaxis(state, axes, range(k))
-    original_shape = state.shape
-    state = state.reshape(2**k, -1)
-    # gate_matrix uses little-endian ordering of gate.qubits (operand 0 is the
-    # least-significant bit); after moveaxis, operand 0 is the most-significant
-    # axis of the 2**k block, so reverse the bit order of the matrix.
-    matrix = _reverse_bit_order(matrix, k)
-    state = matrix @ state
-    state = state.reshape(original_shape)
-    state = np.moveaxis(state, range(k), axes)
-    return state.reshape(-1)
-
-
-def _reverse_bit_order(matrix: np.ndarray, num_qubits: int) -> np.ndarray:
-    """Permute a 2**k x 2**k matrix to reverse its qubit bit-ordering."""
-    if num_qubits == 1:
-        return matrix
     dim = 2**num_qubits
-    perm = np.zeros(dim, dtype=int)
-    for idx in range(dim):
-        reversed_idx = 0
-        for bit in range(num_qubits):
-            if idx & (1 << bit):
-                reversed_idx |= 1 << (num_qubits - 1 - bit)
-        perm[idx] = reversed_idx
-    return matrix[np.ix_(perm, perm)]
+    if state.shape[-1:] != (dim,):
+        raise ValueError(
+            f"state has dimension {state.shape}, expected (..., {dim})"
+        )
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {k} target qubits"
+        )
+    original_shape = state.shape
+    batch = 1
+    for extent in original_shape[:-1]:
+        batch *= extent
+
+    # Interleaved view: qubit axes in descending qubit order (most significant
+    # first) separated by the untouched index ranges between them.
+    order = sorted(range(k), key=lambda j: targets[j], reverse=True)
+    shape = [batch]
+    previous = num_qubits
+    for position in order:
+        qubit = targets[position]
+        shape.append(2 ** (previous - 1 - qubit))
+        shape.append(2)
+        previous = qubit
+    shape.append(2**previous)
+    view = state.reshape(shape)
+    axis_of_operand = {operand: 2 + 2 * slot for slot, operand in enumerate(order)}
+
+    def block(basis: int):
+        """Strided slice of the view where each target qubit holds its basis bit."""
+        index = [slice(None)] * len(shape)
+        for operand in range(k):
+            index[axis_of_operand[operand]] = (basis >> operand) & 1
+        return tuple(index)
+
+    inputs = [view[block(basis)] for basis in range(2**k)]
+    result = np.empty_like(view)
+    for row in range(2**k):
+        out_slice = result[block(row)]
+        columns = [c for c in range(2**k) if matrix[row, c] != 0]
+        if not columns:
+            out_slice[...] = 0.0
+            continue
+        np.multiply(inputs[columns[0]], matrix[row, columns[0]], out=out_slice)
+        for column in columns[1:]:
+            out_slice += matrix[row, column] * inputs[column]
+    return result.reshape(original_shape)
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one gate to a (batched) statevector and return the new statevector."""
+    return apply_matrix(state, gate_matrix(gate), gate.qubits, num_qubits)
 
 
 def simulate(circuit: QuantumCircuit, initial_state: Optional[np.ndarray] = None) -> np.ndarray:
-    """Run a circuit on a statevector and return the final state."""
+    """Run a circuit on a statevector and return the final state.
+
+    ``initial_state`` may carry leading batch axes (shape ``(..., 2**n)``);
+    every batch entry is evolved through the circuit in one vectorized pass.
+    """
+    if circuit.num_qubits < 1:
+        raise ValueError(f"a circuit needs at least one qubit, got {circuit.num_qubits}")
     if circuit.num_qubits > 24:
         raise ValueError(
             f"statevector simulation of {circuit.num_qubits} qubits is not supported; "
@@ -85,9 +145,10 @@ def simulate(circuit: QuantumCircuit, initial_state: Optional[np.ndarray] = None
     state = zero_state(circuit.num_qubits) if initial_state is None else (
         np.asarray(initial_state, dtype=complex).copy()
     )
-    if state.shape != (2**circuit.num_qubits,):
+    if state.shape[-1:] != (2**circuit.num_qubits,):
         raise ValueError(
-            f"initial state has dimension {state.shape}, expected {(2**circuit.num_qubits,)}"
+            f"initial state has dimension {state.shape}, expected "
+            f"(..., {2**circuit.num_qubits})"
         )
     for gate in circuit:
         state = apply_gate(state, gate, circuit.num_qubits)
@@ -99,20 +160,22 @@ def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
     if circuit.num_qubits > 10:
         raise ValueError("circuit_unitary supports at most 10 qubits")
     dim = 2**circuit.num_qubits
-    unitary = np.zeros((dim, dim), dtype=complex)
-    for column in range(dim):
-        state = np.zeros(dim, dtype=complex)
-        state[column] = 1.0
-        unitary[:, column] = simulate(circuit, initial_state=state)
-    return unitary
+    # One batched pass over all basis columns at once: row b of the batch is
+    # the evolution of basis state |b>, i.e. column b of the unitary.
+    columns = simulate(circuit, initial_state=np.eye(dim, dtype=complex))
+    return np.ascontiguousarray(columns.T)
 
 
 def measure_probabilities(state: np.ndarray) -> np.ndarray:
-    """Measurement probability of each computational basis state."""
+    """Measurement probability of each computational basis state.
+
+    Batched input of shape ``(..., 2**n)`` yields probabilities of the same
+    shape, normalized independently per batch entry.
+    """
     state = np.asarray(state, dtype=complex)
     probs = np.abs(state) ** 2
-    total = probs.sum()
-    if total <= 0:
+    total = probs.sum(axis=-1, keepdims=True)
+    if np.any(total <= 0):
         raise ValueError("state has zero norm")
     return probs / total
 

@@ -99,6 +99,10 @@ class SingleQubitErrorReport:
         errors = np.asarray(self.median_errors)
         return float(np.mean(errors > threshold))
 
+    def as_rates(self) -> Dict[int, float]:
+        """Per-qubit error rates for :meth:`repro.simulation.NoiseModel.from_error_reports`."""
+        return {qubit: float(error) for qubit, error in enumerate(self.median_errors)}
+
 
 def median_single_qubit_errors(
     calibration: DeviceCalibration,
@@ -149,6 +153,11 @@ class CouplerErrorReport:
     def median_error(self) -> float:
         """Median calibrated CZ error over couplers."""
         return float(np.median(self.errors)) if self.errors else 0.0
+
+    def as_rates(self, calibrated: bool = True) -> Dict[Tuple[int, int], float]:
+        """Per-coupler CZ error rates for :meth:`repro.simulation.NoiseModel.from_error_reports`."""
+        values = self.errors if calibrated else self.uncalibrated_errors
+        return {pair: float(error) for pair, error in zip(self.couplers, values)}
 
 
 def cz_errors_per_coupler(

@@ -173,6 +173,23 @@ class VariabilityModel:
         scales = 1.0 + self._rng.normal(0.0, self.current_sigma, size=count)
         return np.maximum(scales, 0.0)
 
+    # -- residual gate-error sampling ---------------------------------------------
+
+    def sample_error_scales(self, count: int, sigma: float = 0.25) -> np.ndarray:
+        """Multiplicative per-qubit gate-error spread (log-normal, median 1.0).
+
+        Software calibration leaves each qubit a residual decomposition error
+        near the configured target, but not exactly at it: bitstream quality
+        differs from qubit to qubit.  These factors scale a base error rate
+        into a long-tailed per-qubit distribution, as in Fig. 10(a); they are
+        consumed by :meth:`repro.simulation.NoiseModel.sampled`.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        return np.exp(self._rng.normal(0.0, sigma, size=count))
+
 
 def expected_frequency_fluctuation(
     nominal_frequency: float,

@@ -13,6 +13,7 @@ from .jobs import JobResult, circuit_fingerprint, job_key
 from .spec import (
     CompileOptions,
     ExperimentSpec,
+    FidelityOptions,
     SweepGrid,
     config_from_dict,
     config_to_dict,
@@ -23,6 +24,7 @@ from .store import ResultStore, canonical_json
 __all__ = [
     "CompileOptions",
     "ExperimentSpec",
+    "FidelityOptions",
     "JobResult",
     "ResultStore",
     "SweepGrid",

@@ -10,6 +10,7 @@ Examples::
     python -m repro.runtime
     python -m repro.runtime --benchmarks qgan ising bv add1 --configs opt8 min2
     python -m repro.runtime --qubits 25 --seeds 0 1 2 --workers 4 --power
+    python -m repro.runtime --qubits 12 --fidelity --trajectories 200
     python -m repro.runtime --format json > sweep.json
 """
 
@@ -22,16 +23,18 @@ import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis.report import format_table
+from ..analysis.report import format_table, summarize_fidelity
 from ..circuits.benchmarks import BENCHMARK_NAMES
 from ..core.architecture import DigiQConfig
 from ..hardware.budget import FridgeBudget, max_qubits_within_budget
 from ..hardware.controller_designs import ControllerDesign
+from ..simulation.trajectories import DEFAULT_BATCH_SIZE
 from .dispatch import SweepReport, default_worker_count, run_sweep
 from .spec import (
     DEFAULT_BENCHMARKS,
     DEFAULT_CONFIG_SPECS,
     CompileOptions,
+    FidelityOptions,
     SweepGrid,
     parse_config,
 )
@@ -88,6 +91,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the Sec. VI-A.3 power/scalability columns per config",
     )
     parser.add_argument(
+        "--fidelity", action="store_true",
+        help="run noisy Monte-Carlo trajectories of each compiled circuit and "
+        "add success-probability / state-fidelity columns",
+    )
+    parser.add_argument(
+        "--trajectories", type=int, default=100, metavar="N",
+        help="Monte-Carlo trajectories per job with --fidelity (default 100)",
+    )
+    parser.add_argument(
+        "--traj-batch", type=int, default=DEFAULT_BATCH_SIZE, metavar="B",
+        help=f"trajectories advanced in lockstep per batch (default {DEFAULT_BATCH_SIZE})",
+    )
+    parser.add_argument(
+        "--noise-seed", type=int, default=0,
+        help="seed of the sampled noisy device used by --fidelity (default 0)",
+    )
+    parser.add_argument(
+        "--max-sim-qubits", type=int, default=16, metavar="Q",
+        help="skip fidelity simulation of devices beyond this physical size (default 16)",
+    )
+    parser.add_argument(
         "--format", choices=("table", "json"), default="table", dest="output_format",
         help="output format (default: aligned table)",
     )
@@ -130,8 +154,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if not args.fidelity:
+        non_defaults = [
+            flag
+            for flag, value, default in (
+                ("--trajectories", args.trajectories, 100),
+                ("--traj-batch", args.traj_batch, DEFAULT_BATCH_SIZE),
+                ("--noise-seed", args.noise_seed, 0),
+                ("--max-sim-qubits", args.max_sim_qubits, 16),
+            )
+            if value != default
+        ]
+        if non_defaults:
+            parser.error(f"{', '.join(non_defaults)} require(s) --fidelity")
+
     try:
         configs = tuple(parse_config(spec) for spec in args.configs)
+        fidelity = None
+        if args.fidelity:
+            fidelity = FidelityOptions(
+                trajectories=args.trajectories,
+                batch_size=args.traj_batch,
+                noise_seed=args.noise_seed,
+                max_qubits=args.max_sim_qubits,
+            )
         grid = SweepGrid(
             benchmarks=tuple(args.benchmarks),
             configs=configs,
@@ -140,6 +186,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             compile_options=CompileOptions(
                 layout_strategy=args.layout, routing_trials=args.routing_trials
             ),
+            fidelity=fidelity,
         )
     except (KeyError, ValueError) as error:
         parser.error(str(error))
@@ -161,12 +208,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "summary": report.summary(),
             "rows": report.rows,
         }
+        if args.fidelity:
+            payload["fidelity_summary"] = summarize_fidelity(report.rows)
         if args.power:
             payload["power"] = _power_rows(grid.configs, tile_qubits=max(64, args.qubits))
         print(json.dumps(payload, sort_keys=True, indent=2))
         return 0
 
     print(render_report(report, elapsed))
+    if args.fidelity:
+        print()
+        print(
+            format_table(
+                summarize_fidelity(report.rows),
+                title="End-to-end fidelity (Monte-Carlo trajectories)",
+            )
+        )
     if args.power:
         print()
         print(

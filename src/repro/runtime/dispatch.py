@@ -116,7 +116,13 @@ def _group_payloads(
                 "jobs": [],
             }
             groups[spec.compile_group] = payload
-        payload["jobs"].append({"key": keys[index], "config": config_to_dict(spec.config)})
+        payload["jobs"].append(
+            {
+                "key": keys[index],
+                "config": config_to_dict(spec.config),
+                "fidelity": spec.fidelity.as_dict() if spec.fidelity is not None else None,
+            }
+        )
     return list(groups.values())
 
 

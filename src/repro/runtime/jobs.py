@@ -23,12 +23,21 @@ from ..circuits.benchmarks import build_benchmark
 from ..circuits.circuit import QuantumCircuit
 from ..compiler.pipeline import CompiledCircuit, compile_circuit
 from ..core.execution import normalized_execution_time
-from .spec import CompileOptions, ExperimentSpec, config_from_dict, config_to_dict
+from ..simulation.channels import NoiseModel
+from ..simulation.engine import run_trajectories
+from .spec import (
+    CompileOptions,
+    ExperimentSpec,
+    FidelityOptions,
+    config_from_dict,
+    config_to_dict,
+)
 from .store import canonical_json
 
 #: Bump when the result row schema changes; part of every job key so stale
 #: cache entries from older schema versions are never reused.
-RESULT_SCHEMA_VERSION = 1
+#: v2: Monte-Carlo fidelity columns + fidelity options in the job key.
+RESULT_SCHEMA_VERSION = 2
 
 #: Canonical column order of a result row.  Stored entries round-trip through
 #: sorted-key JSON, so presentation order is re-imposed from this list.
@@ -40,6 +49,10 @@ ROW_COLUMNS = (
     "mimd_time_us",
     "normalized_time",
     "serialization_overhead",
+    "success_probability",
+    "ideal_success",
+    "state_fidelity",
+    "trajectories",
     "logical_qubits",
     "physical_qubits",
     "cz_gates",
@@ -88,6 +101,7 @@ def job_key(spec: ExperimentSpec, circuit: Optional[QuantumCircuit] = None) -> s
         "compile": spec.compile_options.as_dict(),
         "compile_seed": spec.seed,
         "config": config_to_dict(spec.config),
+        "fidelity": spec.fidelity.as_dict() if spec.fidelity is not None else None,
     }
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
@@ -120,6 +134,41 @@ class JobResult:
         )
 
 
+def _fidelity_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, object]:
+    """Monte-Carlo fidelity columns for one job (``spec.fidelity`` is set).
+
+    The *physical* compiled circuit is simulated: SWAP insertion, basis
+    rebasing and the device's coupler set all shape the answer, exactly as
+    they shape the timing columns.  The noise model is sampled per config
+    (groups and parking frequencies differ between configs), pinned by
+    ``noise_seed``; the trajectory randomness is pinned by the job seed.
+    """
+    options = spec.fidelity
+    num_physical = compiled.coupling.num_qubits
+    if num_physical > options.max_qubits:
+        return {
+            "success_probability": None,
+            "ideal_success": None,
+            "state_fidelity": None,
+            "trajectories": 0,
+        }
+    noise = NoiseModel.sampled(
+        num_physical,
+        config=spec.config,
+        couplers=sorted(compiled.physical_circuit.two_qubit_pairs()),
+        seed=options.noise_seed,
+    )
+    result = run_trajectories(
+        compiled.physical_circuit,
+        noise,
+        num_trajectories=options.trajectories,
+        seed=spec.seed,
+        batch_size=options.batch_size,
+        workers=1,  # already inside a dispatcher worker process
+    )
+    return result.as_row()
+
+
 def _result_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, object]:
     """The Fig. 9 row for one (compiled benchmark, config) pair, with compile stats."""
     estimate = normalized_execution_time(compiled, spec.config, benchmark_name=spec.benchmark)
@@ -134,6 +183,8 @@ def _result_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, ob
             "depth": compiled.depth,
         }
     )
+    if spec.fidelity is not None:
+        row.update(_fidelity_row(spec, compiled))
     return row
 
 
@@ -155,7 +206,8 @@ def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]
 
         {"benchmark": ..., "num_qubits": ..., "seed": ...,
          "compile": {"layout_strategy": ..., "routing_trials": ...},
-         "jobs": [{"key": ..., "config": <config dict>}, ...]}
+         "jobs": [{"key": ..., "config": <config dict>,
+                   "fidelity": <options dict or None>}, ...]}
 
     The benchmark is built and compiled exactly once; each job then only pays
     for SIMD scheduling under its own configuration.  Returns the stored-form
@@ -181,6 +233,7 @@ def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]
             num_qubits=payload["num_qubits"],
             seed=payload["seed"],
             compile_options=options,
+            fidelity=FidelityOptions.from_dict(job.get("fidelity")),
         )
         start = time.perf_counter()
         row = _result_row(spec, compiled)

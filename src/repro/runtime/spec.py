@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import re
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..circuits.benchmarks import BENCHMARK_NAMES
 from ..core.architecture import DigiQConfig
+from ..simulation.trajectories import DEFAULT_BATCH_SIZE
 
 #: Default sweep axes used by ``python -m repro.runtime`` with no arguments.
 DEFAULT_BENCHMARKS: Tuple[str, ...] = ("qgan", "ising", "bv")
@@ -82,11 +83,56 @@ class CompileOptions:
 
 
 @dataclass(frozen=True)
+class FidelityOptions:
+    """Monte-Carlo end-to-end fidelity estimation knobs (part of job identity).
+
+    When attached to a job, the compiled physical circuit is run through
+    :func:`repro.simulation.run_trajectories` under a
+    :class:`~repro.simulation.NoiseModel` sampled for the job's configuration,
+    and the result row gains ``success_probability`` / ``state_fidelity`` /
+    ``trajectories`` columns.
+
+    ``noise_seed`` pins the sampled device (which qubits drifted how far);
+    the job's own ``seed`` drives the trajectory randomness, so sweeping
+    seeds varies the Monte-Carlo sample on a fixed noisy device.  Devices
+    whose physical qubit count exceeds ``max_qubits`` skip simulation and
+    report null fidelity columns instead of exploding the statevector.
+    """
+
+    trajectories: int = 100
+    batch_size: int = DEFAULT_BATCH_SIZE
+    noise_seed: int = 0
+    max_qubits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.trajectories < 1:
+            raise ValueError("trajectories must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 1 <= self.max_qubits <= 24:
+            raise ValueError("max_qubits must be in [1, 24] (dense statevector limit)")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trajectories": self.trajectories,
+            "batch_size": self.batch_size,
+            "noise_seed": self.noise_seed,
+            "max_qubits": self.max_qubits,
+        }
+
+    @staticmethod
+    def from_dict(data: Optional[Dict[str, object]]) -> Optional["FidelityOptions"]:
+        return None if data is None else FidelityOptions(**data)
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One schedulable job: benchmark instance x compile options x config.
 
     ``seed`` seeds both the benchmark generator and the stochastic router, so
-    one integer fully pins the job's randomness.
+    one integer fully pins the job's randomness.  ``fidelity`` optionally
+    requests a Monte-Carlo end-to-end fidelity estimate of the compiled
+    circuit alongside the timing columns.
     """
 
     benchmark: str
@@ -94,6 +140,7 @@ class ExperimentSpec:
     num_qubits: int = 16
     seed: int = 0
     compile_options: CompileOptions = field(default_factory=CompileOptions)
+    fidelity: Optional[FidelityOptions] = None
 
     def __post_init__(self) -> None:
         name = self.benchmark.lower()
@@ -118,13 +165,16 @@ class ExperimentSpec:
 
     def describe(self) -> Dict[str, object]:
         """Identity of the job as a plain dict (used in stored results)."""
-        return {
+        description = {
             "benchmark": self.benchmark,
             "num_qubits": self.num_qubits,
             "seed": self.seed,
             "compile": self.compile_options.as_dict(),
             "config": config_to_dict(self.config),
         }
+        if self.fidelity is not None:
+            description["fidelity"] = self.fidelity.as_dict()
+        return description
 
 
 @dataclass(frozen=True)
@@ -143,6 +193,7 @@ class SweepGrid:
     num_qubits: int = 16
     seeds: Tuple[int, ...] = (0,)
     compile_options: CompileOptions = field(default_factory=CompileOptions)
+    fidelity: Optional[FidelityOptions] = None
 
     def __post_init__(self) -> None:
         if not self.configs:
@@ -178,4 +229,5 @@ class SweepGrid:
                         num_qubits=self.num_qubits,
                         seed=seed,
                         compile_options=self.compile_options,
+                        fidelity=self.fidelity,
                     )

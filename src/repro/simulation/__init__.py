@@ -1,0 +1,43 @@
+"""Noisy end-to-end circuit simulation (Monte-Carlo trajectories).
+
+The packages below model per-gate errors; this one propagates them through
+whole compiled circuits.  A :class:`NoiseModel` holds per-qubit/per-coupler
+stochastic error rates (sampled from :class:`~repro.noise.variability.VariabilityModel`
+or lifted from the Fig. 10 reports in :mod:`repro.core.errors`), and
+:func:`run_trajectories` estimates a circuit's success probability and state
+fidelity over seeded, batched Monte-Carlo trajectories — serially or across
+a process pool, with bit-identical results either way.
+"""
+
+from .channels import DEFAULT_CZ_ERROR, DEFAULT_SINGLE_QUBIT_ERROR, NoiseModel
+from .engine import benchmark_fidelity, run_trajectories
+from .trajectories import (
+    DEFAULT_BATCH_SIZE,
+    FusedOp,
+    TrajectoryResult,
+    apply_fused_ops,
+    batch_sizes,
+    fuse_circuit,
+    ideal_final_state,
+    run_trajectory_batch,
+    simulate_trajectories,
+    trajectory_batch_payloads,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CZ_ERROR",
+    "DEFAULT_SINGLE_QUBIT_ERROR",
+    "FusedOp",
+    "NoiseModel",
+    "TrajectoryResult",
+    "apply_fused_ops",
+    "batch_sizes",
+    "benchmark_fidelity",
+    "fuse_circuit",
+    "ideal_final_state",
+    "run_trajectories",
+    "run_trajectory_batch",
+    "simulate_trajectories",
+    "trajectory_batch_payloads",
+]

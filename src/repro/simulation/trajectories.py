@@ -1,0 +1,316 @@
+"""Monte-Carlo statevector trajectories with stochastic Pauli/phase kicks.
+
+The engine estimates *end-to-end* circuit quality — the quantity the paper's
+evaluation ultimately cares about — instead of per-gate errors:
+
+1. the circuit is *fused*: runs of adjacent single-qubit gates on one qubit
+   collapse into a single 2x2 matrix (their kick probabilities combine), so
+   the hot loop applies far fewer matrices than the raw gate count;
+2. ``B`` trajectories advance in lockstep as one ``(B, 2**n)`` batched
+   statevector (see :func:`repro.circuits.simulator.apply_matrix`);
+3. after each fused op, every involved qubit suffers a random Pauli kick
+   (X, Y or Z, weighted by the noise model) with the probability the
+   :class:`~repro.simulation.channels.NoiseModel` assigns it;
+4. each trajectory's final state is scored against the noiseless final state
+   (state fidelity) and against the noiseless dominant measurement outcome
+   (success probability).
+
+All randomness flows from one ``numpy`` generator seeded by the caller, and
+kick draws are consumed in a fixed order independent of which trajectories
+are actually kicked, so a (seed, trajectory-count, batch-size) triple pins
+the result bit-for-bit — serially or across worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.library import gate_matrix
+from ..circuits.simulator import apply_matrix, zero_state
+from .channels import NoiseModel
+
+#: Default trajectories per batch: large enough to amortize per-gate Python
+#: overhead, small enough that a 12-16 qubit batch stays cache-resident.
+DEFAULT_BATCH_SIZE = 25
+
+#: Pauli kick operators, indexed by the noise model's (X, Y, Z) weights.
+_PAULIS = (
+    np.array([[0, 1], [1, 0]], dtype=complex),
+    np.array([[0, -1j], [1j, 0]], dtype=complex),
+    np.diag([1.0, -1.0]).astype(complex),
+)
+
+
+@dataclass(frozen=True)
+class FusedOp:
+    """One fused operation: a matrix, its target qubits, and kick probabilities.
+
+    ``kick_probs[i]`` is the probability that ``qubits[i]`` receives a Pauli
+    kick immediately after this op; fusing ``m`` noisy single-qubit gates
+    combines their kick probabilities as ``1 - prod(1 - p_i)`` so fusion never
+    changes the injected noise, only the number of matrix applications.
+    """
+
+    matrix: np.ndarray
+    qubits: Tuple[int, ...]
+    kick_probs: Tuple[float, ...]
+
+
+def _combine_probs(prob_a: float, prob_b: float) -> float:
+    """Probability of at least one kick from two independent kick sources."""
+    return 1.0 - (1.0 - prob_a) * (1.0 - prob_b)
+
+
+def fuse_circuit(circuit: QuantumCircuit, noise: Optional[NoiseModel] = None) -> List[FusedOp]:
+    """Fuse runs of adjacent single-qubit gates into single :class:`FusedOp` s.
+
+    Single-qubit gates are deferred and matrix-multiplied per qubit until a
+    multi-qubit gate touches that qubit (1q ops on disjoint qubits commute,
+    so deferral preserves semantics).  When ``noise`` is given, each fused op
+    carries the combined kick probability of its constituent gates: ``rz``
+    gates are error-free (virtual Z delays, as in
+    :func:`repro.core.errors.estimate_circuit_error`), other single-qubit
+    gates use the qubit's rate, and multi-qubit gates split their coupler
+    rate evenly over the involved qubits.
+    """
+    pending: Dict[int, Tuple[np.ndarray, float]] = {}
+    ops: List[FusedOp] = []
+
+    def flush(qubit: int) -> None:
+        entry = pending.pop(qubit, None)
+        if entry is not None:
+            matrix, prob = entry
+            ops.append(FusedOp(matrix, (qubit,), (prob,)))
+
+    for gate in circuit:
+        if gate.is_single_qubit:
+            qubit = gate.qubits[0]
+            rate = 0.0
+            if noise is not None and gate.name != "rz":
+                rate = noise.single_qubit_rate(qubit)
+            matrix = gate_matrix(gate)
+            if qubit in pending:
+                prev_matrix, prev_prob = pending[qubit]
+                pending[qubit] = (matrix @ prev_matrix, _combine_probs(prev_prob, rate))
+            else:
+                pending[qubit] = (matrix, rate)
+            continue
+        for qubit in gate.qubits:
+            flush(qubit)
+        kick_probs = (0.0,) * gate.num_qubits
+        if noise is not None:
+            if gate.is_two_qubit:
+                rate = noise.coupler_rate(*gate.qubits)
+            else:
+                # Multi-qubit gates beyond CZ only occur pre-compilation;
+                # charge the default coupler rate.
+                rate = noise.default_coupler_rate
+            # Split the gate error over its qubits so the no-kick probability
+            # of the whole gate is exactly 1 - rate.
+            per_qubit = 1.0 - (1.0 - min(rate, 1.0)) ** (1.0 / gate.num_qubits)
+            kick_probs = (per_qubit,) * gate.num_qubits
+        ops.append(FusedOp(gate_matrix(gate), gate.qubits, kick_probs))
+
+    for qubit in sorted(pending):
+        flush(qubit)
+    return ops
+
+
+def apply_fused_ops(
+    state: np.ndarray, ops: Sequence[FusedOp], num_qubits: int
+) -> np.ndarray:
+    """Apply fused ops to a (batched) statevector, without noise."""
+    for op in ops:
+        state = apply_matrix(state, op.matrix, op.qubits, num_qubits)
+    return state
+
+
+def ideal_final_state(circuit: QuantumCircuit) -> np.ndarray:
+    """Noiseless final state of a circuit via the fused-op fast path."""
+    ops = fuse_circuit(circuit)
+    return apply_fused_ops(zero_state(circuit.num_qubits), ops, circuit.num_qubits)
+
+
+@dataclass(frozen=True)
+class TrajectoryResult:
+    """Outcome of a set of Monte-Carlo trajectories of one circuit.
+
+    Attributes
+    ----------
+    num_qubits:
+        Register width of the simulated circuit.
+    fidelities:
+        Per-trajectory state fidelity ``|<ideal|psi_t>|^2``.
+    success_probs:
+        Per-trajectory probability of measuring the noiseless dominant
+        bitstring.
+    ideal_success:
+        Probability of the dominant bitstring in the *noiseless* state — the
+        ceiling for ``success_probability``.
+    kicks:
+        Total number of Pauli kicks injected across all trajectories.
+    """
+
+    num_qubits: int
+    fidelities: Tuple[float, ...]
+    success_probs: Tuple[float, ...]
+    ideal_success: float
+    kicks: int
+
+    @property
+    def num_trajectories(self) -> int:
+        return len(self.fidelities)
+
+    @property
+    def state_fidelity(self) -> float:
+        """Mean state fidelity over trajectories (the mixed-state fidelity)."""
+        return float(np.mean(self.fidelities)) if self.fidelities else 1.0
+
+    @property
+    def success_probability(self) -> float:
+        """Mean probability of measuring the noiseless dominant outcome."""
+        return float(np.mean(self.success_probs)) if self.success_probs else 1.0
+
+    def as_row(self) -> Dict[str, object]:
+        """The fidelity columns merged into a sweep result row.
+
+        ``ideal_success`` is included because ``success_probability`` is only
+        meaningful relative to it: a flat-spectrum benchmark (e.g. qgan) has a
+        low dominant-outcome probability even noiselessly.
+        """
+        return {
+            "success_probability": round(self.success_probability, 6),
+            "ideal_success": round(self.ideal_success, 6),
+            "state_fidelity": round(self.state_fidelity, 6),
+            "trajectories": self.num_trajectories,
+        }
+
+    @staticmethod
+    def merge(parts: Sequence["TrajectoryResult"]) -> "TrajectoryResult":
+        """Concatenate batch results (in batch order) into one result."""
+        if not parts:
+            raise ValueError("cannot merge zero trajectory results")
+        first = parts[0]
+        for part in parts[1:]:
+            if part.num_qubits != first.num_qubits:
+                raise ValueError("cannot merge results of different register widths")
+        return TrajectoryResult(
+            num_qubits=first.num_qubits,
+            fidelities=tuple(f for part in parts for f in part.fidelities),
+            success_probs=tuple(p for part in parts for p in part.success_probs),
+            ideal_success=first.ideal_success,
+            kicks=sum(part.kicks for part in parts),
+        )
+
+
+def run_trajectory_batch(
+    ops: Sequence[FusedOp],
+    num_qubits: int,
+    batch: int,
+    rng: np.random.Generator,
+    ideal_state: np.ndarray,
+    kick_cumweights: np.ndarray,
+) -> TrajectoryResult:
+    """Advance ``batch`` trajectories in lockstep and score them.
+
+    The kick draws for every (op, qubit) site are consumed in circuit order
+    regardless of which trajectories are hit, so the generator's stream — and
+    therefore the result — depends only on its seed and the batch size.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    states = np.tile(zero_state(num_qubits), (batch, 1))
+    kicks = 0
+    for op in ops:
+        states = apply_matrix(states, op.matrix, op.qubits, num_qubits)
+        for qubit, prob in zip(op.qubits, op.kick_probs):
+            if prob <= 0.0:
+                continue
+            hit = rng.random(batch) < prob
+            pauli_pick = np.searchsorted(kick_cumweights, rng.random(batch))
+            if not hit.any():
+                continue
+            for pauli_index, pauli in enumerate(_PAULIS):
+                mask = hit & (pauli_pick == pauli_index)
+                if mask.any():
+                    states[mask] = apply_matrix(states[mask], pauli, (qubit,), num_qubits)
+                    kicks += int(mask.sum())
+
+    fidelities = np.abs(states @ ideal_state.conj()) ** 2
+    dominant = int(np.argmax(np.abs(ideal_state) ** 2))
+    success = np.abs(states[:, dominant]) ** 2
+    return TrajectoryResult(
+        num_qubits=num_qubits,
+        fidelities=tuple(float(f) for f in fidelities),
+        success_probs=tuple(float(p) for p in success),
+        ideal_success=float(np.abs(ideal_state[dominant]) ** 2),
+        kicks=kicks,
+    )
+
+
+def batch_sizes(num_trajectories: int, batch_size: int) -> List[int]:
+    """Deterministic partition of a trajectory count into batch sizes."""
+    if num_trajectories < 1:
+        raise ValueError("num_trajectories must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    full, rest = divmod(num_trajectories, batch_size)
+    return [batch_size] * full + ([rest] if rest else [])
+
+
+def trajectory_batch_payloads(
+    circuit: QuantumCircuit,
+    noise: NoiseModel,
+    num_trajectories: int,
+    seed: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> List[Tuple[List[FusedOp], int, int, np.random.SeedSequence, np.ndarray, np.ndarray]]:
+    """The seeded per-batch work items of one trajectory run.
+
+    This is the single source of the fusion + seeding scheme: the serial
+    driver (:func:`simulate_trajectories`) and the pooled engine
+    (:func:`repro.simulation.engine.run_trajectories`) both execute exactly
+    these payloads in order, which is what makes their results bit-identical.
+    """
+    if circuit.num_qubits != noise.num_qubits:
+        raise ValueError(
+            f"noise model covers {noise.num_qubits} qubits but the circuit "
+            f"has {circuit.num_qubits}"
+        )
+    ops = fuse_circuit(circuit, noise)
+    ideal = apply_fused_ops(zero_state(circuit.num_qubits), ops, circuit.num_qubits)
+    cumweights = noise.kick_cumulative_weights()
+    sizes = batch_sizes(num_trajectories, batch_size)
+    children = np.random.SeedSequence(seed).spawn(len(sizes))
+    return [
+        (ops, circuit.num_qubits, size, child, ideal, cumweights)
+        for size, child in zip(sizes, children)
+    ]
+
+
+def simulate_trajectories(
+    circuit: QuantumCircuit,
+    noise: NoiseModel,
+    num_trajectories: int,
+    seed: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> TrajectoryResult:
+    """Run seeded Monte-Carlo trajectories of a circuit, serially.
+
+    Results are identical to :func:`repro.simulation.engine.run_trajectories`
+    with any worker count, because both execute the payloads of
+    :func:`trajectory_batch_payloads` and concatenate batches in order.
+    """
+    parts = [
+        run_trajectory_batch(
+            ops, num_qubits, size, np.random.default_rng(child), ideal, cumweights
+        )
+        for ops, num_qubits, size, child, ideal, cumweights in trajectory_batch_payloads(
+            circuit, noise, num_trajectories, seed=seed, batch_size=batch_size
+        )
+    ]
+    return TrajectoryResult.merge(parts)

@@ -62,6 +62,11 @@ class TestMain:
             main(["--qubits", "1", "--cache-dir", str(tmp_path)])
         assert excinfo.value.code == 2
 
+    def test_fidelity_knobs_require_fidelity_flag(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(CLI_ARGS + ["--trajectories", "500", "--cache-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+
     def test_duplicate_configs_accounted_in_banner(self, tmp_path, capsys):
         args = [
             "--benchmarks", "bv",

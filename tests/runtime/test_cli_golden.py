@@ -1,0 +1,56 @@
+"""Golden-file regression tests for the ``python -m repro.runtime`` output.
+
+The rendered tables (with and without ``--fidelity``) are compared verbatim
+against checked-in golden files, so any change to CLI formatting, column
+order, or the deterministic numbers shows up in review as a golden diff.
+
+To regenerate after an intentional change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/runtime/test_cli_golden.py
+"""
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+TABLE_ARGS = ["--benchmarks", "bv", "ising", "--configs", "opt8", "min2", "--qubits", "6"]
+FIDELITY_ARGS = TABLE_ARGS + [
+    "--fidelity", "--trajectories", "20", "--traj-batch", "8", "--noise-seed", "1",
+]
+
+
+def normalize(output: str) -> str:
+    """Mask the wall-clock figure, the only nondeterministic part of the banner."""
+    return re.sub(r"in \d+\.\d{2}s", "in <ELAPSED>s", output)
+
+
+def check_golden(name: str, output: str) -> None:
+    golden_path = GOLDEN_DIR / name
+    normalized = normalize(output)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(normalized, encoding="utf-8")
+        pytest.skip(f"golden file {name} regenerated")
+    assert golden_path.exists(), (
+        f"golden file {golden_path} missing; run with REPRO_UPDATE_GOLDEN=1 to create it"
+    )
+    assert normalized == golden_path.read_text(encoding="utf-8"), (
+        f"CLI output diverged from {name}; if intentional, regenerate with "
+        "REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+class TestGoldenOutput:
+    def test_table_output_matches_golden(self, tmp_path, capsys):
+        assert main(TABLE_ARGS + ["--cache-dir", str(tmp_path)]) == 0
+        check_golden("sweep_table.txt", capsys.readouterr().out)
+
+    def test_fidelity_table_output_matches_golden(self, tmp_path, capsys):
+        assert main(FIDELITY_ARGS + ["--cache-dir", str(tmp_path)]) == 0
+        check_golden("sweep_table_fidelity.txt", capsys.readouterr().out)

@@ -1,0 +1,92 @@
+"""Tests of the NoiseModel constructors and rate queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CouplerErrorReport, SingleQubitErrorReport
+from repro.noise.variability import VariabilityModel
+from repro.simulation import NoiseModel
+
+
+class TestNoiseModelBasics:
+    def test_uniform_rates(self):
+        model = NoiseModel.uniform(4, single_qubit_error=1e-3, cz_error=5e-3)
+        assert model.single_qubit_rate(2) == 1e-3
+        assert model.coupler_rate(0, 1) == 5e-3
+
+    def test_coupler_rate_is_order_insensitive(self):
+        model = NoiseModel(num_qubits=3, coupler_rates={(0, 2): 0.01})
+        assert model.coupler_rate(2, 0) == 0.01
+        assert model.coupler_rate(0, 2) == 0.01
+
+    def test_rejects_rates_outside_unit_interval(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            NoiseModel(num_qubits=2, single_qubit_rates={0: 1.5})
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            NoiseModel.uniform(2, cz_error=-0.1)
+
+    def test_rejects_bad_pauli_weights(self):
+        with pytest.raises(ValueError, match="pauli_weights"):
+            NoiseModel(num_qubits=1, pauli_weights=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError, match="pauli_weights"):
+            NoiseModel(num_qubits=1, pauli_weights=(1.0, -1.0, 1.0))
+
+    def test_kick_cumulative_weights_normalized(self):
+        model = NoiseModel(num_qubits=1, pauli_weights=(1.0, 1.0, 2.0))
+        cumulative = model.kick_cumulative_weights()
+        assert cumulative[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cumulative) >= 0)
+
+
+class TestSampledModel:
+    def test_same_seed_same_rates(self):
+        kwargs = dict(couplers=[(0, 1), (1, 2)], seed=11)
+        model_a = NoiseModel.sampled(6, **kwargs)
+        model_b = NoiseModel.sampled(6, **kwargs)
+        assert model_a.single_qubit_rates == model_b.single_qubit_rates
+        assert model_a.coupler_rates == model_b.coupler_rates
+
+    def test_different_seeds_differ(self):
+        model_a = NoiseModel.sampled(6, seed=1)
+        model_b = NoiseModel.sampled(6, seed=2)
+        assert model_a.single_qubit_rates != model_b.single_qubit_rates
+
+    def test_rates_scale_with_base_error(self):
+        low = NoiseModel.sampled(4, seed=3, base_single_error=1e-5)
+        high = NoiseModel.sampled(4, seed=3, base_single_error=1e-3)
+        for qubit in range(4):
+            assert high.single_qubit_rate(qubit) > low.single_qubit_rate(qubit)
+
+    def test_accepts_explicit_variability_model(self):
+        variability = VariabilityModel(seed=7)
+        model = NoiseModel.sampled(4, variability=variability, couplers=[(0, 1)])
+        assert 0 < model.single_qubit_rate(0) < 1
+        assert 0 < model.coupler_rate(0, 1) < 1
+
+
+class TestFromErrorReports:
+    def test_rates_lifted_from_reports(self):
+        single = SingleQubitErrorReport(
+            design_label="DigiQ_opt(BS=8)", median_errors=(1e-4, 2e-4, 3e-4)
+        )
+        coupler = CouplerErrorReport(
+            design_label="DigiQ_opt(BS=8)",
+            couplers=((0, 1), (1, 2)),
+            errors=(1e-3, 2e-3),
+            uncalibrated_errors=(0.05, 0.08),
+        )
+        model = NoiseModel.from_error_reports(3, single, coupler)
+        assert model.single_qubit_rate(1) == 2e-4
+        assert model.coupler_rate(2, 1) == 2e-3
+
+    def test_report_as_rates_round_trip(self):
+        single = SingleQubitErrorReport("x", (1e-4, 5e-4))
+        assert single.as_rates() == {0: 1e-4, 1: 5e-4}
+        coupler = CouplerErrorReport("x", ((0, 1),), (1e-3,), (0.1,))
+        assert coupler.as_rates() == {(0, 1): 1e-3}
+        assert coupler.as_rates(calibrated=False) == {(0, 1): 0.1}
+
+    def test_missing_reports_fall_back_to_defaults(self):
+        model = NoiseModel.from_error_reports(2)
+        assert model.single_qubit_rate(0) == model.default_single_rate
+        assert model.coupler_rate(0, 1) == model.default_coupler_rate
