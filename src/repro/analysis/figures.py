@@ -18,12 +18,12 @@ configurable scale:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.benchmarks import BENCHMARK_NAMES, build_benchmark
-from ..compiler.coupling import GridCouplingMap, smallest_grid_for
+from ..circuits.benchmarks import TABLE_IV_NAMES, build_benchmark
+from ..compiler.coupling import smallest_grid_for
 from ..compiler.pipeline import compile_circuit
 from ..core.architecture import DigiQConfig
 from ..core.calibration import DeviceCalibration
@@ -184,13 +184,17 @@ def fig9_execution_time(
     configs: Optional[Sequence[DigiQConfig]] = None,
     use_calibration: bool = False,
     seed: int = 1,
+    opt_level: int = 0,
 ) -> List[Dict[str, object]]:
     """Fig. 9 rows: normalised execution time per benchmark per configuration.
 
     ``use_calibration`` switches the scheduler from the synthetic per-qubit
     delay model to the full physics-level calibration (slow at large scales).
+    ``opt_level`` selects the compiler pipeline; the paper-faithful figure
+    uses ``-O0`` (raise it to measure how compiler optimization shifts the
+    bars).
     """
-    benchmarks = list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
+    benchmarks = list(benchmarks) if benchmarks is not None else list(TABLE_IV_NAMES)
     configs = list(configs) if configs is not None else default_fig9_configs()
     coupling = smallest_grid_for(num_qubits)
 
@@ -204,7 +208,7 @@ def fig9_execution_time(
     rows: List[Dict[str, object]] = []
     for name in benchmarks:
         circuit = build_benchmark(name, num_qubits=num_qubits, seed=seed)
-        compiled = compile_circuit(circuit, coupling=coupling, seed=seed)
+        compiled = compile_circuit(circuit, coupling=coupling, seed=seed, opt_level=opt_level)
         estimates = execution_report(
             compiled, configs, calibrations=calibrations, benchmark_name=name
         )
@@ -237,7 +241,9 @@ def fig10_gate_errors(
 
     coupling = smallest_grid_for(num_qubits)
     circuit = build_benchmark(benchmark_for_targets, num_qubits=num_qubits, seed=seed)
-    compiled = compile_circuit(circuit, coupling=coupling, seed=seed)
+    # Paper-faithful compilation (-O0): the Fig. 10 gate targets must come
+    # from the unoptimized Sec. VI-B flow, like the Fig. 9 bars.
+    compiled = compile_circuit(circuit, coupling=coupling, seed=seed, opt_level=0)
     targets = gate_targets_from_circuit(compiled.physical_circuit, max_targets=12)
 
     results: Dict[str, object] = {}

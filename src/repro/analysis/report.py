@@ -9,7 +9,7 @@ experiment drivers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
@@ -117,6 +117,37 @@ def summarize_fidelity(rows: Sequence[Mapping[str, object]]) -> List[Dict[str, o
             }
         )
     return summary
+
+
+def summarize_passes(traces: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """Flatten per-compile-group pass traces into renderable metric rows.
+
+    Consumes the entries of
+    :meth:`repro.runtime.dispatch.SweepReport.pass_traces` (one per compile
+    group, each carrying the pass records of that compilation) and emits one
+    row per executed pass: wall time plus the gate/two-qubit/depth deltas the
+    pass produced.  Analysis passes show zero deltas by construction.
+    """
+    rows: List[Dict[str, object]] = []
+    for trace in traces:
+        for record in trace.get("passes", ()):
+            rows.append(
+                {
+                    "benchmark": trace.get("benchmark"),
+                    "seed": trace.get("seed"),
+                    "opt_level": trace.get("opt_level"),
+                    "pass": record.get("pass"),
+                    "kind": record.get("kind"),
+                    "wall_ms": round(float(record.get("wall_time_s", 0.0)) * 1000.0, 3),
+                    "gates": record.get("gates_after"),
+                    "d_gates": record.get("gates_after", 0) - record.get("gates_before", 0),
+                    "d_two_qubit": (
+                        record.get("two_qubit_after", 0) - record.get("two_qubit_before", 0)
+                    ),
+                    "d_depth": record.get("depth_after", 0) - record.get("depth_before", 0),
+                }
+            )
+    return rows
 
 
 def comparison_row(

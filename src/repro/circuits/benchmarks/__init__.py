@@ -1,4 +1,4 @@
-"""NISQ benchmark generators (Table IV of the paper).
+"""NISQ benchmark generators (Table IV of the paper, plus extensions).
 
 ======  =========================================================
 QGAN    Quantum generative adversarial learning ansatz
@@ -7,10 +7,14 @@ BV      Bernstein-Vazirani (1024-bit in the paper)
 Add1    Cuccaro ripple-carry adder (256-bit in the paper)
 Add2    Carry-lookahead adder (256-bit in the paper)
 Sqrt10  10-bit square root via Grover search
+QFT     Quantum Fourier transform (all-to-all; not in the paper)
+QAOA    QAOA MaxCut on a seeded random graph (not in the paper)
 ======  =========================================================
 
 :func:`benchmark_suite` builds the full suite scaled to a target device size,
-which is how the Fig. 9 / Fig. 10 experiment drivers consume them.
+which is how the Fig. 9 / Fig. 10 experiment drivers consume them.  Paper
+reproduction paths (Table IV, Fig. 9) use :data:`TABLE_IV_NAMES`; the sweep
+runtime accepts everything in :data:`BENCHMARK_NAMES`.
 """
 
 from __future__ import annotations
@@ -26,10 +30,15 @@ from .adders import (
 from .bernstein_vazirani import bernstein_vazirani_circuit, bernstein_vazirani_secret
 from .grover_sqrt import GroverSqrtLayout, grover_sqrt_circuit
 from .ising import ising_chain_circuit
+from .qaoa import qaoa_maxcut_circuit, qaoa_maxcut_edges
+from .qft import qft_circuit
 from .qgan import qgan_circuit
 
-#: Benchmark names in the order Table IV lists them.
-BENCHMARK_NAMES = ("qgan", "ising", "bv", "add1", "add2", "sqrt")
+#: The paper's six benchmarks, in the order Table IV lists them.
+TABLE_IV_NAMES = ("qgan", "ising", "bv", "add1", "add2", "sqrt")
+
+#: Every registered benchmark: Table IV plus the extended scenarios.
+BENCHMARK_NAMES = TABLE_IV_NAMES + ("qft", "qaoa")
 
 
 def build_benchmark(name: str, num_qubits: int = 64, seed: int = 7) -> QuantumCircuit:
@@ -59,6 +68,10 @@ def build_benchmark(name: str, num_qubits: int = 64, seed: int = 7) -> QuantumCi
         bits = 5 if num_qubits >= 40 else max(2, num_qubits // 8)
         circuit, _ = grover_sqrt_circuit(radicand=841 if bits == 5 else 9, num_result_bits=bits)
         return circuit
+    if name == "qft":
+        return qft_circuit(num_qubits=max(2, num_qubits))
+    if name == "qaoa":
+        return qaoa_maxcut_circuit(num_qubits=max(2, num_qubits), seed=seed)
     raise KeyError(f"unknown benchmark '{name}'; known: {BENCHMARK_NAMES}")
 
 
@@ -67,7 +80,12 @@ def benchmark_suite(
     names: Optional[List[str]] = None,
     seed: int = 7,
 ) -> Dict[str, QuantumCircuit]:
-    """Build the named benchmarks (default: all of Table IV) at a device size."""
+    """Build the named benchmarks at a device size.
+
+    The default is every registered benchmark (:data:`BENCHMARK_NAMES`,
+    Table IV plus QFT/QAOA); pass ``names=TABLE_IV_NAMES`` for the
+    paper-faithful six.
+    """
     selected = list(names) if names is not None else list(BENCHMARK_NAMES)
     return {name: build_benchmark(name, num_qubits=num_qubits, seed=seed) for name in selected}
 
@@ -76,6 +94,7 @@ __all__ = [
     "AdderLayout",
     "BENCHMARK_NAMES",
     "GroverSqrtLayout",
+    "TABLE_IV_NAMES",
     "benchmark_suite",
     "bernstein_vazirani_circuit",
     "bernstein_vazirani_secret",
@@ -84,5 +103,8 @@ __all__ = [
     "cuccaro_adder_circuit",
     "grover_sqrt_circuit",
     "ising_chain_circuit",
+    "qaoa_maxcut_circuit",
+    "qaoa_maxcut_edges",
+    "qft_circuit",
     "qgan_circuit",
 ]

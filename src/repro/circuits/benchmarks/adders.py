@@ -17,7 +17,7 @@ can be verified end-to-end with the statevector simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..builder import CircuitBuilder, encode_integer
 from ..circuit import QuantumCircuit

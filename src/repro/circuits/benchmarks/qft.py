@@ -1,0 +1,56 @@
+"""Quantum Fourier transform benchmark.
+
+The QFT is the canonical all-to-all workload: every qubit pair interacts via
+a controlled-phase gate, which makes it the stress case for SWAP routing on
+the nearest-neighbour grid (the Table IV benchmarks are all local or
+quasi-local by comparison).  The generator emits the textbook circuit —
+Hadamard plus a ladder of ``cp(pi / 2**k)`` rotations per qubit, followed by
+the bit-reversal SWAP network — with an optional approximation degree that
+drops the smallest rotations (Coppersmith's approximate QFT), the standard
+lever for trading fidelity against depth.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import QuantumCircuit
+
+
+def qft_circuit(
+    num_qubits: int = 16,
+    approximation_degree: int = 0,
+    with_swaps: bool = True,
+) -> QuantumCircuit:
+    """Build the (approximate) quantum Fourier transform.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width.
+    approximation_degree:
+        Number of smallest-angle controlled-phase layers to drop; 0 is the
+        exact QFT.  Must be in ``[0, num_qubits - 1]``.
+    with_swaps:
+        Append the final bit-reversal SWAP network (the part routing likes
+        least); disable to emit the "QFT up to qubit reversal" variant.
+    """
+    if num_qubits < 1:
+        raise ValueError("the QFT needs at least one qubit")
+    if not 0 <= approximation_degree <= max(0, num_qubits - 1):
+        raise ValueError(
+            f"approximation_degree must be in [0, {max(0, num_qubits - 1)}], "
+            f"got {approximation_degree}"
+        )
+
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits - 1, -1, -1):
+        circuit.h(target)
+        for offset, control in enumerate(range(target - 1, -1, -1), start=2):
+            if offset > num_qubits - approximation_degree:
+                break
+            circuit.cp(2.0 * math.pi / (2.0**offset), control, target)
+    if with_swaps:
+        for low in range(num_qubits // 2):
+            circuit.swap(low, num_qubits - 1 - low)
+    return circuit

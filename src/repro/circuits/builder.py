@@ -9,7 +9,7 @@ qubit indices and materialises the final circuit once building is done.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from .circuit import QuantumCircuit
 from .gate import Gate

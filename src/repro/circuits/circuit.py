@@ -12,7 +12,7 @@ from collections import Counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .gate import Gate
-from .library import gate_spec, inverse_gate, validate_gate
+from .library import inverse_gate, validate_gate
 
 
 class QuantumCircuit:

@@ -1,34 +1,91 @@
-"""Compilation substrate: grid coupling maps, routing, rebasing, scheduling."""
+"""Compilation substrate: a pass-manager pipeline over grid coupling maps,
+routing, rebasing, optimization, and crosstalk-aware scheduling."""
 
 from .basis import (
     count_basis_violations,
     decompose_to_two_qubit_gates,
     fuse_single_qubit_runs,
     rebase_to_cz_basis,
+    u3_gate_from_matrix,
 )
 from .coupling import GridCouplingMap, smallest_grid_for
-from .layout import Layout, build_layout, snake_layout, trivial_layout
-from .pipeline import CompiledCircuit, compile_circuit
-from .routing import RoutingResult, route_circuit
+from .layout import LAYOUT_STRATEGIES, Layout, build_layout, snake_layout, trivial_layout
+from .lookahead import LookaheadRoute, lookahead_route_circuit
+from .optimization import (
+    CancelInverseGates,
+    CommutationAwareFusion,
+    cancel_inverse_gates,
+    commutation_aware_fusion,
+)
+from .passes import (
+    AnalysisPass,
+    BuildInitialLayout,
+    DecomposeToTwoQubit,
+    Pass,
+    PassManager,
+    PassRecord,
+    PropertySet,
+    RebaseToCZ,
+    ScheduleCrosstalkAware,
+    StochasticRoute,
+    TransformationPass,
+    ValidateBasis,
+    ValidateCoupling,
+)
+from .pipeline import (
+    DEFAULT_OPT_LEVEL,
+    OPT_LEVELS,
+    PIPELINE_NAMES,
+    CompiledCircuit,
+    build_pass_manager,
+    compile_circuit,
+)
+from .routing import RoutingResult, insert_swaps_along_path, route_circuit
 from .scheduling import Moment, Schedule, asap_schedule, crosstalk_aware_schedule
 
 __all__ = [
+    "AnalysisPass",
+    "BuildInitialLayout",
+    "CancelInverseGates",
+    "CommutationAwareFusion",
     "CompiledCircuit",
+    "DEFAULT_OPT_LEVEL",
+    "DecomposeToTwoQubit",
     "GridCouplingMap",
+    "LAYOUT_STRATEGIES",
     "Layout",
+    "LookaheadRoute",
     "Moment",
+    "OPT_LEVELS",
+    "PIPELINE_NAMES",
+    "Pass",
+    "PassManager",
+    "PassRecord",
+    "PropertySet",
+    "RebaseToCZ",
     "RoutingResult",
     "Schedule",
+    "ScheduleCrosstalkAware",
+    "StochasticRoute",
+    "TransformationPass",
+    "ValidateBasis",
+    "ValidateCoupling",
     "asap_schedule",
     "build_layout",
+    "build_pass_manager",
+    "cancel_inverse_gates",
+    "commutation_aware_fusion",
     "compile_circuit",
     "count_basis_violations",
     "crosstalk_aware_schedule",
     "decompose_to_two_qubit_gates",
     "fuse_single_qubit_runs",
+    "insert_swaps_along_path",
+    "lookahead_route_circuit",
     "rebase_to_cz_basis",
     "route_circuit",
     "smallest_grid_for",
     "snake_layout",
     "trivial_layout",
+    "u3_gate_from_matrix",
 ]

@@ -16,7 +16,7 @@ Two passes are provided:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -151,7 +151,7 @@ def fuse_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
         matrix = pending.pop(qubit, None)
         if matrix is None:
             return
-        gate = _u3_gate_from_matrix(matrix, qubit)
+        gate = u3_gate_from_matrix(matrix, qubit)
         if gate is not None:
             out.append(gate)
 
@@ -169,8 +169,13 @@ def fuse_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
     return out
 
 
-def _u3_gate_from_matrix(matrix: np.ndarray, qubit: int, tol: float = 1e-9) -> Optional[Gate]:
-    """Convert an accumulated 2x2 unitary into a ``u3`` (or ``rz``) gate."""
+def u3_gate_from_matrix(matrix: np.ndarray, qubit: int, tol: float = 1e-9) -> Optional[Gate]:
+    """Convert an accumulated 2x2 unitary into a ``u3`` (or ``rz``) gate.
+
+    Returns None when the matrix is the identity up to global phase (nothing
+    to emit).  Shared by the rebase-time fusion and the commutation-aware
+    fusion pass of :mod:`repro.compiler.optimization`.
+    """
     alpha, theta, beta = zyz_angles(matrix)
     if abs(theta) < tol:
         phase = alpha + beta

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 import networkx as nx
 
@@ -89,6 +89,28 @@ class GridCouplingMap:
             col += 1 if cb > col else -1
             path.append(self.index(row, col))
         return path
+
+    def monotone_paths(self, a: int, b: int) -> List[List[int]]:
+        """The canonical shortest L-paths from ``a`` to ``b``: row-first and
+        column-first.  Collinear endpoints yield a single straight path.
+
+        These are the deterministic candidates the lookahead router scores;
+        the stochastic router instead samples arbitrary monotone staircases.
+        """
+        ra, ca = self.position(a)
+        rb, cb = self.position(b)
+        row_first = self.shortest_path(a, b)
+        if ra == rb or ca == cb:
+            return [row_first]
+        col_first = [a]
+        row, col = ra, ca
+        while col != cb:
+            col += 1 if cb > col else -1
+            col_first.append(self.index(row, col))
+        while row != rb:
+            row += 1 if rb > row else -1
+            col_first.append(self.index(row, col))
+        return [row_first, col_first]
 
     # -- couplers -----------------------------------------------------------------
 

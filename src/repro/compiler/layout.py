@@ -91,14 +91,23 @@ def snake_layout(circuit: QuantumCircuit, coupling: GridCouplingMap) -> Layout:
     return Layout(mapping, coupling.num_qubits)
 
 
+#: Named initial-placement strategies; the single source of truth for what
+#: the compiler pipeline and the runtime's CompileOptions accept.
+LAYOUT_STRATEGIES = {
+    "trivial": trivial_layout,
+    "snake": snake_layout,
+}
+
+
 def build_layout(circuit: QuantumCircuit, coupling: GridCouplingMap, strategy: str = "snake") -> Layout:
     """Build an initial layout using the named strategy (``trivial`` or ``snake``)."""
-    strategy = strategy.lower()
-    if strategy == "trivial":
-        return trivial_layout(circuit, coupling)
-    if strategy == "snake":
-        return snake_layout(circuit, coupling)
-    raise ValueError(f"unknown layout strategy '{strategy}'")
+    try:
+        builder = LAYOUT_STRATEGIES[strategy.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown layout strategy '{strategy}'; known: {sorted(LAYOUT_STRATEGIES)}"
+        ) from None
+    return builder(circuit, coupling)
 
 
 def _check_fits(circuit: QuantumCircuit, coupling: GridCouplingMap) -> None:

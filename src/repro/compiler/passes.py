@@ -1,0 +1,295 @@
+"""Pass-manager substrate: the compiler as a sequence of composable passes.
+
+The monolithic ``compile_circuit`` flow is rebuilt here as a
+:class:`PassManager` running :class:`Pass` objects over a shared
+:class:`PropertySet`.  Two pass kinds exist:
+
+* :class:`AnalysisPass` — reads the circuit, writes facts into the property
+  set (layouts, schedules, validation results), never changes the circuit;
+* :class:`TransformationPass` — returns a new circuit (decomposition,
+  routing, rebasing, optimization).
+
+Every pass execution is recorded as a :class:`PassRecord` carrying wall time
+and before/after circuit metrics, so a compilation explains where its gates,
+SWAPs, and depth came from.  The records travel on
+:class:`~repro.compiler.pipeline.CompiledCircuit` and all the way into the
+runtime's stored results.
+
+Well-known property names used by the built-in passes:
+
+======================  =====================================================
+``coupling``            the target :class:`~repro.compiler.coupling.GridCouplingMap`
+``layout``              initial :class:`~repro.compiler.layout.Layout` (pre-routing)
+``initial_layout``      layout snapshot the router started from
+``final_layout``        layout after routing
+``num_swaps``           SWAPs inserted by the router
+``schedule``            the :class:`~repro.compiler.scheduling.Schedule`
+``basis_violations``    gate count outside the target basis (must be 0)
+``coupling_violations`` two-qubit gates on uncoupled pairs (must be 0)
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from .basis import count_basis_violations, decompose_to_two_qubit_gates, rebase_to_cz_basis
+from .coupling import GridCouplingMap
+from .layout import build_layout
+from .routing import route_circuit
+from .scheduling import crosstalk_aware_schedule
+
+
+class PropertySet(dict):
+    """Shared blackboard the passes of one compilation read and write.
+
+    A plain dict with a ``require`` helper that turns a missing prerequisite
+    into a clear error naming the pass that needed it.
+    """
+
+    def require(self, name: str, needed_by: str) -> object:
+        if name not in self:
+            raise KeyError(
+                f"pass '{needed_by}' requires property '{name}' which no earlier "
+                "pass produced; check the pipeline order"
+            )
+        return self[name]
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """Metrics of one executed pass (one row of the compile trace)."""
+
+    name: str
+    kind: str
+    wall_time_s: float
+    gates_before: int
+    gates_after: int
+    two_qubit_before: int
+    two_qubit_after: int
+    depth_before: int
+    depth_after: int
+
+    @property
+    def gates_delta(self) -> int:
+        return self.gates_after - self.gates_before
+
+    @property
+    def two_qubit_delta(self) -> int:
+        return self.two_qubit_after - self.two_qubit_before
+
+    @property
+    def depth_delta(self) -> int:
+        return self.depth_after - self.depth_before
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form, stored with runtime results (schema v3)."""
+        return {
+            "pass": self.name,
+            "kind": self.kind,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "gates_before": self.gates_before,
+            "gates_after": self.gates_after,
+            "two_qubit_before": self.two_qubit_before,
+            "two_qubit_after": self.two_qubit_after,
+            "depth_before": self.depth_before,
+            "depth_after": self.depth_after,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "PassRecord":
+        return PassRecord(
+            name=data["pass"],
+            kind=data["kind"],
+            wall_time_s=data["wall_time_s"],
+            gates_before=data["gates_before"],
+            gates_after=data["gates_after"],
+            two_qubit_before=data["two_qubit_before"],
+            two_qubit_after=data["two_qubit_after"],
+            depth_before=data["depth_before"],
+            depth_after=data["depth_after"],
+        )
+
+
+class Pass:
+    """Base class of all compiler passes.
+
+    Subclasses implement :meth:`run`; :attr:`kind` distinguishes analysis
+    from transformation passes.  The pass name defaults to the class name and
+    is what shows up in traces and per-pass metrics tables.
+    """
+
+    kind = "pass"
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> Optional[QuantumCircuit]:
+        raise NotImplementedError
+
+
+class AnalysisPass(Pass):
+    """A pass that inspects the circuit and writes properties; returns None."""
+
+    kind = "analysis"
+
+
+class TransformationPass(Pass):
+    """A pass that rewrites the circuit; returns the new circuit."""
+
+    kind = "transformation"
+
+
+class PassManager:
+    """Runs an ordered list of passes, recording a per-pass metrics trace."""
+
+    def __init__(self, passes: Optional[List[Pass]] = None):
+        self._passes: List[Pass] = list(passes or [])
+
+    @property
+    def passes(self) -> Tuple[Pass, ...]:
+        return tuple(self._passes)
+
+    def append(self, pass_: Pass) -> "PassManager":
+        self._passes.append(pass_)
+        return self
+
+    def pass_names(self) -> List[str]:
+        return [p.name for p in self._passes]
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        properties: Optional[PropertySet] = None,
+    ) -> Tuple[QuantumCircuit, PropertySet, List[PassRecord]]:
+        """Run every pass in order; returns (circuit, properties, trace)."""
+        properties = properties if properties is not None else PropertySet()
+        trace: List[PassRecord] = []
+        # Metrics of the current circuit; each pass's "before" is the previous
+        # pass's "after", so every boundary is measured exactly once.
+        gates = len(circuit)
+        two_qubit = circuit.num_two_qubit_gates()
+        depth = circuit.depth()
+        for pass_ in self._passes:
+            start = time.perf_counter()
+            result = pass_.run(circuit, properties)
+            elapsed = time.perf_counter() - start
+            if result is not None:
+                if pass_.kind == "analysis":
+                    raise TypeError(f"analysis pass '{pass_.name}' must not return a circuit")
+                circuit = result
+                gates_after = len(circuit)
+                two_qubit_after = circuit.num_two_qubit_gates()
+                depth_after = circuit.depth()
+            else:
+                gates_after, two_qubit_after, depth_after = gates, two_qubit, depth
+            trace.append(
+                PassRecord(
+                    name=pass_.name,
+                    kind=pass_.kind,
+                    wall_time_s=elapsed,
+                    gates_before=gates,
+                    gates_after=gates_after,
+                    two_qubit_before=two_qubit,
+                    two_qubit_after=two_qubit_after,
+                    depth_before=depth,
+                    depth_after=depth_after,
+                )
+            )
+            gates, two_qubit, depth = gates_after, two_qubit_after, depth_after
+        return circuit, properties, trace
+
+
+# ---------------------------------------------------------------------------
+# The four paper stages (Sec. VI-B), extracted as passes.
+# ---------------------------------------------------------------------------
+
+
+class DecomposeToTwoQubit(TransformationPass):
+    """Expand three-qubit gates so the router only sees 1- and 2-qubit gates."""
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        return decompose_to_two_qubit_gates(circuit)
+
+
+class BuildInitialLayout(AnalysisPass):
+    """Place logical qubits on the device grid (``layout`` property)."""
+
+    def __init__(self, strategy: str = "snake"):
+        self.strategy = strategy
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        coupling: GridCouplingMap = properties.require("coupling", self.name)
+        properties["layout"] = build_layout(circuit, coupling, strategy=self.strategy)
+
+
+class StochasticRoute(TransformationPass):
+    """SWAP insertion along randomised shortest paths, best of ``trials``."""
+
+    def __init__(self, seed: int = 0, trials: int = 2):
+        self.seed = seed
+        self.trials = trials
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        coupling: GridCouplingMap = properties.require("coupling", self.name)
+        layout = properties.require("layout", self.name)
+        result = route_circuit(circuit, coupling, layout, seed=self.seed, trials=self.trials)
+        properties["initial_layout"] = result.initial_layout
+        properties["final_layout"] = result.final_layout
+        properties["num_swaps"] = result.num_swaps
+        return result.circuit
+
+
+class RebaseToCZ(TransformationPass):
+    """Rewrite into the DigiQ {u3, rz, cz} basis, fusing 1q runs."""
+
+    def __init__(self, fuse: bool = True):
+        self.fuse = fuse
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        return rebase_to_cz_basis(circuit, fuse=self.fuse)
+
+
+class ValidateBasis(AnalysisPass):
+    """Assert every gate is inside the target basis (post-rebase invariant)."""
+
+    def __init__(self, basis: Tuple[str, ...] = ("u3", "rz", "cz")):
+        self.basis = tuple(basis)
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        violations = count_basis_violations(circuit, basis=self.basis)
+        properties["basis_violations"] = violations
+        if violations:
+            raise RuntimeError(
+                f"internal error: {violations} gates remain outside the "
+                f"{{{', '.join(self.basis)}}} basis"
+            )
+
+
+class ValidateCoupling(AnalysisPass):
+    """Assert every two-qubit gate sits on a device coupler (post-routing)."""
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        coupling: GridCouplingMap = properties.require("coupling", self.name)
+        violations = sum(
+            1
+            for gate in circuit
+            if gate.is_two_qubit and not coupling.are_coupled(*gate.qubits)
+        )
+        properties["coupling_violations"] = violations
+        if violations:
+            raise RuntimeError(
+                f"internal error: {violations} two-qubit gates address uncoupled pairs"
+            )
+
+
+class ScheduleCrosstalkAware(AnalysisPass):
+    """Group gates into moments under the adjacent-coupler CZ constraint."""
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        coupling: GridCouplingMap = properties.require("coupling", self.name)
+        properties["schedule"] = crosstalk_aware_schedule(circuit, coupling)

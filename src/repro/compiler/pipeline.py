@@ -1,30 +1,63 @@
-"""End-to-end compilation pipeline.
+"""End-to-end compilation pipelines built on the pass manager.
 
-:func:`compile_circuit` reproduces the paper's flow (Sec. VI-B):
+The paper's flow (Sec. VI-B) — decompose, place/route, rebase to
+{u3, rz, cz}, crosstalk-aware schedule — is one configuration of a
+:class:`~repro.compiler.passes.PassManager`; :func:`build_pass_manager`
+assembles it at one of three optimization levels:
 
-1. decompose three-qubit gates so only one- and two-qubit gates remain;
-2. place logical qubits on the grid and insert SWAPs with the stochastic
-   router;
-3. rebase everything to the DigiQ hardware basis {u3, rz, cz} and fuse runs
-   of single-qubit gates;
-4. produce a crosstalk-aware schedule of moments.
+======  =========================================================
+``-O0`` paper-faithful: exactly the four stages, stochastic router
+``-O1`` (default) adds inverse-gate cancellation before routing and
+        after rebasing
+``-O2`` aggressive: deterministic lookahead router plus
+        commutation-aware fusion across CZ barriers
+======  =========================================================
 
-The returned :class:`CompiledCircuit` carries every intermediate artefact the
-downstream DigiQ models need (the physical circuit, layouts, schedule, and a
-few summary statistics).
+The ``pipeline`` name picks the router family: ``"default"`` follows the
+optimization level (stochastic below ``-O2``, lookahead at ``-O2``), while
+``"stochastic"`` and ``"lookahead"`` force one router at every level.
+
+:func:`compile_circuit` remains the one-call facade the rest of the codebase
+uses; it now returns a :class:`CompiledCircuit` that also carries the
+per-pass metrics trace, so every downstream consumer (runtime sweeps,
+fidelity attribution, reports) can see where its gates, SWAPs, and depth
+came from.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from .basis import count_basis_violations, decompose_to_two_qubit_gates, rebase_to_cz_basis
 from .coupling import GridCouplingMap, smallest_grid_for
-from .layout import Layout, build_layout
-from .routing import RoutingResult, route_circuit
-from .scheduling import Schedule, crosstalk_aware_schedule
+from .layout import Layout
+from .lookahead import LookaheadRoute
+from .optimization import CancelInverseGates, CommutationAwareFusion
+from .passes import (
+    BuildInitialLayout,
+    DecomposeToTwoQubit,
+    PassManager,
+    PassRecord,
+    PropertySet,
+    RebaseToCZ,
+    ScheduleCrosstalkAware,
+    StochasticRoute,
+    ValidateBasis,
+    ValidateCoupling,
+)
+from .scheduling import Schedule
+
+#: Valid optimization levels, lowest to highest.
+OPT_LEVELS = (0, 1, 2)
+
+#: Named pipelines (router families).
+PIPELINE_NAMES = ("default", "stochastic", "lookahead")
+
+#: Default optimization level of :func:`compile_circuit` and the runtime.
+DEFAULT_OPT_LEVEL = 1
 
 
 @dataclass
@@ -38,6 +71,9 @@ class CompiledCircuit:
     final_layout: Layout
     schedule: Schedule
     num_swaps: int
+    opt_level: int = DEFAULT_OPT_LEVEL
+    pipeline: str = "default"
+    pass_trace: Tuple[PassRecord, ...] = field(default_factory=tuple)
 
     @property
     def depth(self) -> int:
@@ -66,7 +102,99 @@ class CompiledCircuit:
             "single_qubit_gates": self.num_single_qubit_gates,
             "swaps_inserted": self.num_swaps,
             "depth": self.depth,
+            "opt_level": self.opt_level,
         }
+
+    def trace_rows(self) -> List[dict]:
+        """The per-pass metrics trace as JSON-able rows (may be empty)."""
+        return [record.as_dict() for record in self.pass_trace]
+
+    def logical_unitary(self, max_qubits: int = 12) -> np.ndarray:
+        """The compiled circuit's action on the *logical* register.
+
+        Simulates the physical circuit on every embedded logical basis state
+        (via the initial layout) and reads the outcome back through the final
+        layout, returning a ``2**n_logical`` square matrix.  Because routing
+        only permutes tensor factors, physical qubits that hold no logical
+        qubit stay in ``|0>`` and the extraction is exact.  This is what the
+        equivalence tests compare across optimization levels (compilation
+        preserves it up to global phase).
+        """
+        from ..circuits.simulator import simulate
+
+        num_logical = self.source.num_qubits
+        num_physical = self.coupling.num_qubits
+        if num_physical > max_qubits:
+            raise ValueError(
+                f"logical_unitary simulates all {num_physical} physical qubits; "
+                f"refusing beyond {max_qubits}"
+            )
+        dim_logical = 2**num_logical
+
+        def embed(basis_index: int, layout: Layout) -> int:
+            physical_index = 0
+            for logical in range(num_logical):
+                if (basis_index >> logical) & 1:
+                    physical_index |= 1 << layout.physical(logical)
+            return physical_index
+
+        batch = np.zeros((dim_logical, 2**num_physical), dtype=complex)
+        for basis_index in range(dim_logical):
+            batch[basis_index, embed(basis_index, self.initial_layout)] = 1.0
+        evolved = simulate(self.physical_circuit, initial_state=batch)
+
+        unitary = np.empty((dim_logical, dim_logical), dtype=complex)
+        for out_index in range(dim_logical):
+            unitary[out_index, :] = evolved[:, embed(out_index, self.final_layout)]
+        return unitary
+
+
+def build_pass_manager(
+    opt_level: int = DEFAULT_OPT_LEVEL,
+    pipeline: str = "default",
+    layout_strategy: str = "snake",
+    routing_seed: int = 0,
+    routing_trials: int = 2,
+) -> PassManager:
+    """Assemble the pass pipeline for one optimization level.
+
+    Parameters
+    ----------
+    opt_level:
+        0 (paper-faithful), 1 (default, adds cancellation), or 2
+        (aggressive: lookahead router + commutation-aware fusion).
+    pipeline:
+        Router family: ``"default"`` picks by level, ``"stochastic"`` /
+        ``"lookahead"`` force one router.
+    layout_strategy, routing_seed, routing_trials:
+        Initial-placement strategy and stochastic-router parameters
+        (``routing_seed``/``routing_trials`` are ignored by the
+        deterministic lookahead router).
+    """
+    if opt_level not in OPT_LEVELS:
+        raise ValueError(f"unknown optimization level {opt_level}; valid: {OPT_LEVELS}")
+    if pipeline not in PIPELINE_NAMES:
+        raise ValueError(f"unknown pipeline '{pipeline}'; valid: {PIPELINE_NAMES}")
+
+    if pipeline == "stochastic" or (pipeline == "default" and opt_level < 2):
+        router = StochasticRoute(seed=routing_seed, trials=routing_trials)
+    else:
+        router = LookaheadRoute()
+
+    passes = [DecomposeToTwoQubit()]
+    if opt_level >= 1:
+        passes.append(CancelInverseGates())
+    passes.append(BuildInitialLayout(strategy=layout_strategy))
+    passes.append(router)
+    passes.append(RebaseToCZ(fuse=True))
+    if opt_level >= 2:
+        passes.append(CommutationAwareFusion())
+    if opt_level >= 1:
+        passes.append(CancelInverseGates())
+    passes.append(ValidateBasis())
+    passes.append(ValidateCoupling())
+    passes.append(ScheduleCrosstalkAware())
+    return PassManager(passes)
 
 
 def compile_circuit(
@@ -75,6 +203,9 @@ def compile_circuit(
     layout_strategy: str = "snake",
     seed: int = 0,
     routing_trials: int = 2,
+    opt_level: int = DEFAULT_OPT_LEVEL,
+    pipeline: str = "default",
+    routing_seed: Optional[int] = None,
 ) -> CompiledCircuit:
     """Compile a logical circuit down to scheduled {u3, rz, cz} on the grid.
 
@@ -88,30 +219,35 @@ def compile_circuit(
     layout_strategy:
         Initial placement strategy (``"snake"`` or ``"trivial"``).
     seed, routing_trials:
-        Stochastic-router parameters.
+        Stochastic-router parameters; ``seed`` also seeds benchmark
+        generators upstream, so ``routing_seed`` overrides it when the
+        router's randomness must be pinned independently.
+    opt_level, pipeline:
+        Optimization level (0/1/2) and router family (see
+        :func:`build_pass_manager`).
     """
     if coupling is None:
         coupling = smallest_grid_for(circuit.num_qubits)
 
-    two_qubit_only = decompose_to_two_qubit_gates(circuit)
-    layout = build_layout(two_qubit_only, coupling, strategy=layout_strategy)
-    routing: RoutingResult = route_circuit(
-        two_qubit_only, coupling, layout, seed=seed, trials=routing_trials
+    manager = build_pass_manager(
+        opt_level=opt_level,
+        pipeline=pipeline,
+        layout_strategy=layout_strategy,
+        routing_seed=seed if routing_seed is None else routing_seed,
+        routing_trials=routing_trials,
     )
-    rebased = rebase_to_cz_basis(routing.circuit, fuse=True)
-    violations = count_basis_violations(rebased)
-    if violations:
-        raise RuntimeError(
-            f"internal error: {violations} gates remain outside the {{u3, rz, cz}} basis"
-        )
-    schedule = crosstalk_aware_schedule(rebased, coupling)
+    properties = PropertySet({"coupling": coupling})
+    physical, properties, trace = manager.run(circuit, properties)
 
     return CompiledCircuit(
         source=circuit,
-        physical_circuit=rebased,
+        physical_circuit=physical,
         coupling=coupling,
-        initial_layout=routing.initial_layout,
-        final_layout=routing.final_layout,
-        schedule=schedule,
-        num_swaps=routing.num_swaps,
+        initial_layout=properties["initial_layout"],
+        final_layout=properties["final_layout"],
+        schedule=properties["schedule"],
+        num_swaps=properties["num_swaps"],
+        opt_level=opt_level,
+        pipeline=pipeline,
+        pass_trace=tuple(trace),
     )

@@ -13,7 +13,7 @@ the same spirit as the original stochastic pass.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -97,7 +97,10 @@ def _route_once(
         physical_b = layout.physical(logical_b)
         if not coupling.are_coupled(physical_a, physical_b):
             path = _random_shortest_path(coupling, physical_a, physical_b, rng)
-            num_swaps += _insert_swaps_along_path(routed, layout, path, rng)
+            # The random meeting coupler distributes the movement between the
+            # endpoints (the stochastic element that gives the router its name).
+            meeting = int(rng.integers(0, len(path) - 1)) if len(path) >= 3 else 0
+            num_swaps += insert_swaps_along_path(routed, layout, path, meeting)
             physical_a = layout.physical(logical_a)
             physical_b = layout.physical(logical_b)
         routed.append(Gate(gate.name, (physical_a, physical_b), gate.params))
@@ -131,28 +134,34 @@ def _random_shortest_path(
     return path
 
 
-def _insert_swaps_along_path(
-    circuit: QuantumCircuit, layout: Layout, path: List[int], rng: np.random.Generator
+def insert_swaps_along_path(
+    circuit: Optional[QuantumCircuit], layout: Layout, path: List[int], meeting: int
 ) -> int:
     """Insert SWAPs so the endpoints of ``path`` become adjacent.
 
-    The two endpoints walk toward a randomly chosen meeting coupler on the
-    path, which distributes the movement between them (and adds the stochastic
-    element that gives the router its name).
+    The two endpoints walk toward the meeting coupler ``(path[meeting],
+    path[meeting + 1])``.  Shared by both routers: the stochastic router draws
+    the meeting point from its RNG, the lookahead router scores every
+    candidate and picks the best.  With ``circuit=None`` only the layout is
+    permuted and no gates are emitted — that is how the lookahead scorer
+    previews a candidate without building circuits, guaranteed to match what
+    real insertion would do.  Returns the number of SWAPs inserted (always
+    ``len(path) - 2``; the meeting point only shifts *which* qubits move,
+    i.e. the final layout).
     """
     if len(path) < 3:
         return 0
-    # The meeting coupler is (path[m], path[m+1]); endpoints walk inwards.
-    meeting = int(rng.integers(0, len(path) - 1))
     num_swaps = 0
     # Walk the left endpoint right up to path[meeting].
     for i in range(meeting):
-        circuit.swap(path[i], path[i + 1])
+        if circuit is not None:
+            circuit.swap(path[i], path[i + 1])
         layout.swap_physical(path[i], path[i + 1])
         num_swaps += 1
     # Walk the right endpoint left down to path[meeting + 1].
     for i in range(len(path) - 1, meeting + 1, -1):
-        circuit.swap(path[i], path[i - 1])
+        if circuit is not None:
+            circuit.swap(path[i], path[i - 1])
         layout.swap_physical(path[i], path[i - 1])
         num_swaps += 1
     return num_swaps

@@ -16,7 +16,7 @@ execution-time model consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import Gate
@@ -72,6 +72,15 @@ class Schedule:
         if not self.moments:
             return 0
         return max(len(m.single_qubit_gates) for m in self.moments)
+
+    def summary(self) -> dict:
+        """Headline schedule metrics (used by the per-pass compile trace)."""
+        return {
+            "depth": self.depth,
+            "gates": self.gate_count(),
+            "max_parallel_two_qubit": self.max_parallel_two_qubit(),
+            "max_parallel_single_qubit": self.max_parallel_single_qubit(),
+        }
 
 
 def asap_schedule(circuit: QuantumCircuit) -> Schedule:

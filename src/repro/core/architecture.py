@@ -20,8 +20,8 @@ model.  The values default to the paper's evaluation setup (Sec. VI-B):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
 
 from ..physics.constants import (
     DEFAULT_SFQ_CLOCK_PERIOD_NS,

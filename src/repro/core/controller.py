@@ -21,10 +21,9 @@ the full program execution flow of Sec. IV-B:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from .architecture import DigiQConfig
 

@@ -25,7 +25,6 @@ matching Sec. V of the paper.
 from __future__ import annotations
 
 import cmath
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 

@@ -27,10 +27,7 @@ from ..noise.variability import VariabilityModel
 from .calibration import DeviceCalibration
 from .decomposition import OptDecomposition
 from .two_qubit import (
-    FluxPulseDesign,
     TransmonPairSpec,
-    calibrate_flux_pulse,
-    cz_echo_error,
     decomposed_cz_error,
     uncalibrated_cz_error,
 )

@@ -15,7 +15,7 @@ benchmark circuit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..compiler.pipeline import CompiledCircuit
 from .architecture import DigiQConfig, single_qubit_gate_time_ns

@@ -22,10 +22,9 @@ from __future__ import annotations
 
 import hashlib
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..circuits.gate import Gate
 from ..circuits.library import gate_matrix
@@ -134,7 +133,6 @@ def _synthetic_delays(gate: Gate, config: DigiQConfig, num_qubits: int) -> Tuple
         typical = config.typical_u3_cycles()
         pulses = typical if gate.name == "u3" else max(3, typical // 2)
     qubit = gate.qubits[0]
-    group = config.group_of_qubit(qubit, num_qubits)
     delays = []
     for step in range(pulses):
         payload = f"{qubit}:{gate.name}:{tuple(round(p, 6) for p in gate.params)}:{step}"

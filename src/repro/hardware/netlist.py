@@ -11,10 +11,10 @@ trees serve nets with fan-out greater than one.
 from __future__ import annotations
 
 from collections import Counter, defaultdict, deque
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from .cells import CELL_LIBRARY, Cell, get_cell
+from .cells import Cell, get_cell
 
 #: Pseudo cell types for primary inputs/outputs (zero cost).
 INPUT = "INPUT"

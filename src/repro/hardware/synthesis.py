@@ -16,16 +16,15 @@ critical-path delay — the quantities Fig. 8 is built from.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from .cells import (
-    CELL_LIBRARY,
     DEFAULT_CLOCK_GHZ,
     WIRING_AREA_OVERHEAD,
     get_cell,
 )
-from .netlist import INPUT, OUTPUT, Netlist
+from .netlist import OUTPUT, Netlist
 
 
 @dataclass

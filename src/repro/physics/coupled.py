@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from .constants import TWO_PI
 from .operators import destroy, kron, number
-from .transmon import Transmon, TransmonPairParameters
+from .transmon import TransmonPairParameters
 
 #: The ideal CZ gate in the two-qubit computational basis (|00>,|01>,|10>,|11>).
 CZ_TARGET = np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)

@@ -26,7 +26,6 @@ import numpy as np
 from scipy.linalg import expm
 
 from .constants import DEFAULT_SFQ_CLOCK_PERIOD_NS, TWO_PI
-from .rotations import circular_distance
 from .transmon import Transmon
 
 

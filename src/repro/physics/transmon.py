@@ -19,7 +19,7 @@ in GHz, times in ns, Hamiltonians expressed in angular units (rad/ns).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

@@ -11,6 +11,7 @@ Examples::
     python -m repro.runtime --benchmarks qgan ising bv add1 --configs opt8 min2
     python -m repro.runtime --qubits 25 --seeds 0 1 2 --workers 4 --power
     python -m repro.runtime --qubits 12 --fidelity --trajectories 200
+    python -m repro.runtime --opt-level 2 --pass-metrics
     python -m repro.runtime --format json > sweep.json
 """
 
@@ -23,8 +24,10 @@ import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis.report import format_table, summarize_fidelity
+from ..analysis.report import format_table, summarize_fidelity, summarize_passes
 from ..circuits.benchmarks import BENCHMARK_NAMES
+from ..compiler.layout import LAYOUT_STRATEGIES
+from ..compiler.pipeline import DEFAULT_OPT_LEVEL, OPT_LEVELS, PIPELINE_NAMES
 from ..core.architecture import DigiQConfig
 from ..hardware.budget import FridgeBudget, max_qubits_within_budget
 from ..hardware.controller_designs import ControllerDesign
@@ -68,11 +71,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark/router seeds to sweep (default: 0)",
     )
     parser.add_argument(
-        "--layout", default="snake", choices=("snake", "trivial"),
+        "--layout", default="snake", choices=tuple(sorted(LAYOUT_STRATEGIES)),
         help="initial layout strategy (default snake)",
     )
     parser.add_argument(
         "--routing-trials", type=int, default=2, help="stochastic router trials (default 2)"
+    )
+    parser.add_argument(
+        "--opt-level", type=int, default=DEFAULT_OPT_LEVEL, choices=OPT_LEVELS,
+        help="compiler optimization level: 0 paper-faithful, 1 default "
+        "(+gate cancellation), 2 aggressive (+lookahead router, "
+        "commutation-aware fusion)",
+    )
+    parser.add_argument(
+        "--pipeline", default="default", choices=PIPELINE_NAMES,
+        help="router family: 'default' follows --opt-level, or force "
+        "'stochastic' / 'lookahead'",
+    )
+    parser.add_argument(
+        "--routing-seed", type=int, default=None, metavar="SEED",
+        help="pin the stochastic router's RNG independently of the job seed "
+        "(default: use the job seed)",
+    )
+    parser.add_argument(
+        "--pass-metrics", action="store_true",
+        help="print the per-pass compile metrics table (wall time and "
+        "gate/depth deltas per pass, one block per compiled benchmark)",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -184,7 +208,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             num_qubits=args.qubits,
             seeds=tuple(args.seeds),
             compile_options=CompileOptions(
-                layout_strategy=args.layout, routing_trials=args.routing_trials
+                layout_strategy=args.layout,
+                routing_trials=args.routing_trials,
+                opt_level=args.opt_level,
+                pipeline=args.pipeline,
+                routing_seed=args.routing_seed,
             ),
             fidelity=fidelity,
         )
@@ -210,6 +238,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         }
         if args.fidelity:
             payload["fidelity_summary"] = summarize_fidelity(report.rows)
+        if args.pass_metrics:
+            payload["pass_metrics"] = summarize_passes(report.pass_traces())
         if args.power:
             payload["power"] = _power_rows(grid.configs, tile_qubits=max(64, args.qubits))
         print(json.dumps(payload, sort_keys=True, indent=2))
@@ -222,6 +252,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             format_table(
                 summarize_fidelity(report.rows),
                 title="End-to-end fidelity (Monte-Carlo trajectories)",
+            )
+        )
+    if args.pass_metrics:
+        print()
+        print(
+            format_table(
+                summarize_passes(report.pass_traces()),
+                title=f"Per-pass compile metrics (-O{args.opt_level})",
             )
         )
     if args.power:

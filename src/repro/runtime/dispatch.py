@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..circuits.benchmarks import build_benchmark
 from .jobs import JobResult, execute_compile_group, job_key, ordered_row
 from .spec import ExperimentSpec, SweepGrid, config_to_dict
-from .store import ResultStore
+from .store import ResultStore, canonical_json
 
 
 @dataclass
@@ -78,6 +78,39 @@ class SweepReport:
             "configs": len(self.grid.configs),
             "seeds": len(self.grid.seeds),
         }
+
+    def pass_traces(self) -> List[Dict[str, object]]:
+        """Per-pass compile metrics, one entry per compile group in grid order.
+
+        All configs of one compiled benchmark share the same trace, so each
+        group contributes a single entry (results computed before schema v3
+        carry no trace and are skipped).
+        """
+        seen = set()
+        traces: List[Dict[str, object]] = []
+        for result in self.results:
+            if not result.trace:
+                continue
+            spec = result.spec
+            ident = (
+                spec.get("benchmark"),
+                spec.get("num_qubits"),
+                spec.get("seed"),
+                canonical_json(spec.get("compile", {})),
+            )
+            if ident in seen:
+                continue
+            seen.add(ident)
+            traces.append(
+                {
+                    "benchmark": spec.get("benchmark"),
+                    "num_qubits": spec.get("num_qubits"),
+                    "seed": spec.get("seed"),
+                    "opt_level": spec.get("compile", {}).get("opt_level"),
+                    "passes": list(result.trace),
+                }
+            )
+        return traces
 
 
 def default_worker_count() -> int:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..circuits.benchmarks import build_benchmark
 from ..circuits.circuit import QuantumCircuit
@@ -37,7 +37,9 @@ from .store import canonical_json
 #: Bump when the result row schema changes; part of every job key so stale
 #: cache entries from older schema versions are never reused.
 #: v2: Monte-Carlo fidelity columns + fidelity options in the job key.
-RESULT_SCHEMA_VERSION = 2
+#: v3: pass-manager compile options (opt_level/pipeline/routing_seed) in the
+#: job key, opt_level column, per-pass compile trace stored with each result.
+RESULT_SCHEMA_VERSION = 3
 
 #: Canonical column order of a result row.  Stored entries round-trip through
 #: sorted-key JSON, so presentation order is re-imposed from this list.
@@ -45,6 +47,7 @@ ROW_COLUMNS = (
     "benchmark",
     "design",
     "seed",
+    "opt_level",
     "digiq_time_us",
     "mimd_time_us",
     "normalized_time",
@@ -108,12 +111,14 @@ def job_key(spec: ExperimentSpec, circuit: Optional[QuantumCircuit] = None) -> s
 
 @dataclass(frozen=True)
 class JobResult:
-    """One executed job: its key, identity, and the Fig. 9-style result row."""
+    """One executed job: its key, identity, the Fig. 9-style result row, and
+    the per-pass compile trace of the compilation that produced it."""
 
     key: str
     spec: Dict[str, object]
     row: Dict[str, object]
     elapsed_s: float
+    trace: Tuple[Dict[str, object], ...] = ()
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -122,6 +127,7 @@ class JobResult:
             "spec": self.spec,
             "row": self.row,
             "elapsed_s": self.elapsed_s,
+            "trace": list(self.trace),
         }
 
     @staticmethod
@@ -131,6 +137,7 @@ class JobResult:
             spec=data["spec"],
             row=data["row"],
             elapsed_s=data.get("elapsed_s", 0.0),
+            trace=tuple(data.get("trace", ())),
         )
 
 
@@ -176,6 +183,7 @@ def _result_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, ob
     row.update(
         {
             "seed": spec.seed,
+            "opt_level": spec.compile_options.opt_level,
             "logical_qubits": compiled.source.num_qubits,
             "physical_qubits": compiled.coupling.num_qubits,
             "cz_gates": compiled.num_cz_gates,
@@ -191,11 +199,15 @@ def _result_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, ob
 def compile_spec(spec: ExperimentSpec) -> CompiledCircuit:
     """Build and compile the benchmark instance one spec describes."""
     circuit = build_benchmark(spec.benchmark, num_qubits=spec.num_qubits, seed=spec.seed)
+    options = spec.compile_options
     return compile_circuit(
         circuit,
-        layout_strategy=spec.compile_options.layout_strategy,
+        layout_strategy=options.layout_strategy,
         seed=spec.seed,
-        routing_trials=spec.compile_options.routing_trials,
+        routing_trials=options.routing_trials,
+        opt_level=options.opt_level,
+        pipeline=options.pipeline,
+        routing_seed=options.routing_seed,
     )
 
 
@@ -224,6 +236,7 @@ def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]
     start = time.perf_counter()
     compiled = compile_spec(base)
     compile_elapsed = time.perf_counter() - start
+    trace = tuple(compiled.trace_rows())
 
     results: List[Dict[str, object]] = []
     for index, job in enumerate(payload["jobs"]):
@@ -247,6 +260,7 @@ def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]
             spec=spec.describe(),
             row=row,
             elapsed_s=round(elapsed, 6),
+            trace=trace,
         )
         results.append(result.as_dict())
     return results

@@ -20,6 +20,8 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..circuits.benchmarks import BENCHMARK_NAMES
+from ..compiler.layout import LAYOUT_STRATEGIES
+from ..compiler.pipeline import DEFAULT_OPT_LEVEL, OPT_LEVELS, PIPELINE_NAMES
 from ..core.architecture import DigiQConfig
 from ..simulation.trajectories import DEFAULT_BATCH_SIZE
 
@@ -67,19 +69,39 @@ def config_from_dict(data: Dict[str, object]) -> DigiQConfig:
 
 @dataclass(frozen=True)
 class CompileOptions:
-    """Compiler-pipeline knobs that are part of a job's identity."""
+    """Compiler-pipeline knobs that are part of a job's identity.
+
+    ``opt_level`` and ``pipeline`` select the pass pipeline
+    (:func:`repro.compiler.build_pass_manager`); ``routing_seed`` pins the
+    stochastic router's randomness independently of the job seed (None means
+    "use the job seed", the historical behaviour).  All of these enter the
+    content-addressed cache key, so sweeps at different levels never collide.
+    """
 
     layout_strategy: str = "snake"
     routing_trials: int = 2
+    opt_level: int = DEFAULT_OPT_LEVEL
+    pipeline: str = "default"
+    routing_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.layout_strategy not in ("snake", "trivial"):
+        if self.layout_strategy not in LAYOUT_STRATEGIES:
             raise ValueError(f"unknown layout strategy '{self.layout_strategy}'")
         if self.routing_trials < 1:
             raise ValueError("routing_trials must be >= 1")
+        if self.opt_level not in OPT_LEVELS:
+            raise ValueError(f"opt_level must be one of {OPT_LEVELS}")
+        if self.pipeline not in PIPELINE_NAMES:
+            raise ValueError(f"unknown pipeline '{self.pipeline}'; known: {PIPELINE_NAMES}")
 
     def as_dict(self) -> Dict[str, object]:
-        return {"layout_strategy": self.layout_strategy, "routing_trials": self.routing_trials}
+        return {
+            "layout_strategy": self.layout_strategy,
+            "routing_trials": self.routing_trials,
+            "opt_level": self.opt_level,
+            "pipeline": self.pipeline,
+            "routing_seed": self.routing_seed,
+        }
 
 
 @dataclass(frozen=True)
@@ -159,9 +181,7 @@ class ExperimentSpec:
             self.benchmark,
             self.num_qubits,
             self.seed,
-            self.compile_options.layout_strategy,
-            self.compile_options.routing_trials,
-        )
+        ) + tuple(sorted(self.compile_options.as_dict().items()))
 
     def describe(self) -> Dict[str, object]:
         """Identity of the job as a plain dict (used in stored results)."""

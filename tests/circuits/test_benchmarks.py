@@ -5,6 +5,7 @@ import pytest
 
 from repro.circuits.benchmarks import (
     BENCHMARK_NAMES,
+    TABLE_IV_NAMES,
     benchmark_suite,
     bernstein_vazirani_circuit,
     bernstein_vazirani_secret,
@@ -13,10 +14,18 @@ from repro.circuits.benchmarks import (
     cuccaro_adder_circuit,
     grover_sqrt_circuit,
     ising_chain_circuit,
+    qaoa_maxcut_circuit,
+    qaoa_maxcut_edges,
+    qft_circuit,
     qgan_circuit,
 )
 from repro.circuits.builder import register_value
-from repro.circuits.simulator import dominant_bitstring, measure_probabilities, simulate
+from repro.circuits.simulator import (
+    circuit_unitary,
+    dominant_bitstring,
+    measure_probabilities,
+    simulate,
+)
 
 
 class TestSuite:
@@ -25,6 +34,11 @@ class TestSuite:
         assert set(suite) == set(BENCHMARK_NAMES)
         for circuit in suite.values():
             assert len(circuit) > 0
+
+    def test_table_iv_subset_unchanged(self):
+        assert TABLE_IV_NAMES == ("qgan", "ising", "bv", "add1", "add2", "sqrt")
+        assert set(TABLE_IV_NAMES) < set(BENCHMARK_NAMES)
+        assert {"qft", "qaoa"} <= set(BENCHMARK_NAMES)
 
     def test_unknown_benchmark(self):
         with pytest.raises(KeyError):
@@ -110,6 +124,85 @@ class TestGroverSqrt:
     def test_square_root_amplified_three_bits(self):
         circuit, layout = grover_sqrt_circuit(radicand=9, num_result_bits=3)
         assert self.dominant_root(circuit, layout) == 3
+
+
+class TestQFT:
+    @pytest.mark.parametrize("num_qubits", [2, 3, 4])
+    def test_matches_discrete_fourier_transform(self, num_qubits):
+        dim = 2**num_qubits
+        omega = np.exp(2j * np.pi / dim)
+        dft = np.array(
+            [[omega ** (j * k) for j in range(dim)] for k in range(dim)]
+        ) / np.sqrt(dim)
+        np.testing.assert_allclose(circuit_unitary(qft_circuit(num_qubits)), dft, atol=1e-9)
+
+    def test_approximation_drops_smallest_rotations(self):
+        exact = qft_circuit(8)
+        approximate = qft_circuit(8, approximation_degree=3)
+        assert approximate.count("cp") < exact.count("cp")
+        assert approximate.count("h") == exact.count("h")
+
+    def test_without_swaps_drops_reversal_network(self):
+        assert qft_circuit(6, with_swaps=False).count("swap") == 0
+        assert qft_circuit(6).count("swap") == 3
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+        with pytest.raises(ValueError):
+            qft_circuit(4, approximation_degree=4)
+
+    def test_compile_and_simulate_smoke(self):
+        from repro.compiler import compile_circuit
+
+        circuit = build_benchmark("qft", num_qubits=9, seed=0)
+        compiled = compile_circuit(circuit, seed=0, opt_level=2)
+        assert all(g.name in ("u3", "rz", "cz") for g in compiled.physical_circuit)
+        state = simulate(compiled.physical_circuit)
+        assert np.abs(np.vdot(state, state) - 1.0) < 1e-9
+
+
+class TestQAOAMaxCut:
+    def test_graph_is_ring_plus_chords(self):
+        edges = qaoa_maxcut_edges(num_qubits=8, extra_chords=2, seed=0)
+        as_sets = {tuple(sorted(edge)) for edge in edges}
+        ring = {(q, (q + 1) % 8) for q in range(7)} | {(0, 7)}
+        assert {tuple(sorted(e)) for e in ring} <= as_sets
+        assert len(as_sets) == 10
+
+    def test_deterministic_given_seed(self):
+        a = qaoa_maxcut_circuit(num_qubits=10, seed=3)
+        b = qaoa_maxcut_circuit(num_qubits=10, seed=3)
+        assert a.gates == b.gates
+
+    def test_seed_changes_graph_or_angles(self):
+        a = qaoa_maxcut_circuit(num_qubits=10, seed=3)
+        b = qaoa_maxcut_circuit(num_qubits=10, seed=4)
+        assert a.gates != b.gates
+
+    def test_layer_structure(self):
+        circuit = qaoa_maxcut_circuit(num_qubits=6, num_layers=3, chord_fraction=0.0, seed=1)
+        # p layers x one rzz per ring edge, one rx per qubit per layer.
+        assert circuit.count("rzz") == 3 * 6
+        assert circuit.count("rx") == 3 * 6
+        assert circuit.count("h") == 6
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(num_qubits=1)
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(num_qubits=4, num_layers=0)
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(num_qubits=4, chord_fraction=1.5)
+
+    def test_compile_and_simulate_smoke(self):
+        from repro.compiler import compile_circuit
+
+        circuit = build_benchmark("qaoa", num_qubits=9, seed=2)
+        compiled = compile_circuit(circuit, seed=2, opt_level=2)
+        assert all(g.name in ("u3", "rz", "cz") for g in compiled.physical_circuit)
+        state = simulate(compiled.physical_circuit)
+        assert np.abs(np.vdot(state, state) - 1.0) < 1e-9
 
 
 class TestParametricGenerators:

@@ -1,6 +1,5 @@
 """Unit and property tests for the circuit IR (Gate, QuantumCircuit)."""
 
-import math
 
 import numpy as np
 import pytest

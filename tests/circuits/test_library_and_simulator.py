@@ -1,6 +1,5 @@
 """Tests for the gate library matrices and the statevector simulator."""
 
-import math
 
 import numpy as np
 import pytest

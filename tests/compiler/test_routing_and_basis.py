@@ -16,7 +16,6 @@ from repro.compiler.basis import (
 from repro.compiler.coupling import GridCouplingMap
 from repro.compiler.layout import build_layout, trivial_layout
 from repro.compiler.routing import route_circuit
-from repro.physics.operators import is_unitary
 
 
 def unitaries_equal_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-7) -> bool:

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.circuits.benchmarks import build_benchmark
 from repro.circuits.circuit import QuantumCircuit
-from repro.compiler.coupling import GridCouplingMap, smallest_grid_for
+from repro.compiler.coupling import GridCouplingMap
 from repro.compiler.pipeline import compile_circuit
 from repro.compiler.scheduling import asap_schedule, crosstalk_aware_schedule
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.noise.variability import (
     DEFAULT_CURRENT_SIGMA,
-    DEFAULT_EJ_SIGMA,
     QubitSample,
     VariabilityModel,
     expected_frequency_fluctuation,

@@ -17,7 +17,7 @@ from repro.physics.fidelity import (
     state_fidelity,
 )
 from repro.physics.operators import PAULI_X, embed_qubit_operator
-from repro.physics.rotations import rx, ry, rz, u3
+from repro.physics.rotations import rx, rz, u3
 
 angles = st.floats(-math.pi, math.pi, allow_nan=False)
 

@@ -67,6 +67,50 @@ class TestMain:
             main(CLI_ARGS + ["--trajectories", "500", "--cache-dir", str(tmp_path)])
         assert excinfo.value.code == 2
 
+    def test_opt_level_two_runs_and_reports_column(self, tmp_path, capsys):
+        assert main(CLI_ARGS + ["--cache-dir", str(tmp_path), "--opt-level", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "opt_level" in out
+        assert "4 jobs (4 computed, 0 cached)" in out
+
+    def test_opt_levels_use_distinct_cache_keys(self, tmp_path, capsys):
+        assert main(CLI_ARGS + ["--cache-dir", str(tmp_path), "--opt-level", "0"]) == 0
+        capsys.readouterr()
+        assert main(CLI_ARGS + ["--cache-dir", str(tmp_path), "--opt-level", "2"]) == 0
+        assert "4 jobs (4 computed, 0 cached)" in capsys.readouterr().out
+
+    def test_pass_metrics_table_rendered(self, tmp_path, capsys):
+        args = CLI_ARGS + ["--cache-dir", str(tmp_path), "--opt-level", "2", "--pass-metrics"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Per-pass compile metrics (-O2)" in out
+        assert "LookaheadRoute" in out
+        assert "CommutationAwareFusion" in out
+        assert "wall_ms" in out
+
+    def test_pass_metrics_in_json_payload(self, tmp_path, capsys):
+        args = CLI_ARGS + [
+            "--cache-dir", str(tmp_path), "--opt-level", "1",
+            "--pass-metrics", "--format", "json",
+        ]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        passes = {row["pass"] for row in payload["pass_metrics"]}
+        assert "StochasticRoute" in passes and "CancelInverseGates" in passes
+
+    def test_forced_pipeline_and_routing_seed_accepted(self, tmp_path, capsys):
+        args = CLI_ARGS + [
+            "--cache-dir", str(tmp_path),
+            "--pipeline", "lookahead", "--routing-seed", "9",
+        ]
+        assert main(args) == 0
+        assert "4 jobs" in capsys.readouterr().out
+
+    def test_bad_opt_level_errors_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(CLI_ARGS + ["--cache-dir", str(tmp_path), "--opt-level", "9"])
+        assert excinfo.value.code == 2
+
     def test_duplicate_configs_accounted_in_banner(self, tmp_path, capsys):
         args = [
             "--benchmarks", "bv",

@@ -72,6 +72,23 @@ class TestSweepGrid:
             CompileOptions(routing_trials=0)
         with pytest.raises(ValueError):
             CompileOptions(layout_strategy="spiral")
+        with pytest.raises(ValueError):
+            CompileOptions(opt_level=5)
+        with pytest.raises(ValueError):
+            CompileOptions(pipeline="warp")
+
+    def test_compile_options_defaults_to_o1_default_pipeline(self):
+        options = CompileOptions()
+        assert options.opt_level == 1
+        assert options.pipeline == "default"
+        assert options.routing_seed is None
+        assert set(options.as_dict()) == {
+            "layout_strategy",
+            "routing_trials",
+            "opt_level",
+            "pipeline",
+            "routing_seed",
+        }
 
     def test_defaults_cover_three_by_three(self):
         grid = SweepGrid()
@@ -102,6 +119,21 @@ class TestJobKeys:
         assert (
             job_key(self.make_spec(compile_options=CompileOptions(routing_trials=3))) != base
         )
+
+    def test_key_changes_with_pass_manager_knobs(self):
+        base = job_key(self.make_spec())
+        assert job_key(self.make_spec(compile_options=CompileOptions(opt_level=2))) != base
+        assert (
+            job_key(self.make_spec(compile_options=CompileOptions(pipeline="lookahead")))
+            != base
+        )
+        assert (
+            job_key(self.make_spec(compile_options=CompileOptions(routing_seed=7))) != base
+        )
+        # None (use the job seed) and an explicit seed are distinct identities.
+        assert job_key(
+            self.make_spec(compile_options=CompileOptions(routing_seed=0))
+        ) != job_key(self.make_spec(compile_options=CompileOptions(routing_seed=None)))
 
     def test_key_matches_prebuilt_circuit(self):
         spec = self.make_spec()

@@ -11,7 +11,6 @@ from repro.circuits.simulator import simulate, zero_state
 from repro.simulation import (
     NoiseModel,
     TrajectoryResult,
-    apply_fused_ops,
     fuse_circuit,
     ideal_final_state,
     run_trajectories,
@@ -85,9 +84,11 @@ class TestTrajectories:
         circuit = small_benchmark("ising")
         weak = NoiseModel.uniform(circuit.num_qubits, 1e-4, 1e-3)
         strong = NoiseModel.uniform(circuit.num_qubits, 0.05, 0.1)
-        fid = lambda noise: run_trajectories(
-            circuit, noise, num_trajectories=60, seed=2
-        ).state_fidelity
+        def fid(noise):
+            return run_trajectories(
+                circuit, noise, num_trajectories=60, seed=2
+            ).state_fidelity
+
         assert fid(strong) < fid(weak)
 
     def test_result_row_shape(self):
