@@ -15,6 +15,9 @@ from .report import (
     format_series,
     format_table,
     render_comparisons,
+    summarize_backends,
+    summarize_fidelity,
+    summarize_passes,
 )
 from .tables import (
     BENCHMARK_DESCRIPTIONS,
@@ -42,4 +45,7 @@ __all__ = [
     "parking_frequency_table_rows",
     "render_comparisons",
     "scalability_summary",
+    "summarize_backends",
+    "summarize_fidelity",
+    "summarize_passes",
 ]

@@ -60,18 +60,20 @@ def summarize_fidelity(rows: Sequence[Mapping[str, object]]) -> List[Dict[str, o
     Consumes sweep rows carrying the ``success_probability`` /
     ``state_fidelity`` / ``trajectories`` columns produced by fidelity-enabled
     jobs (rows whose device exceeded the simulation cap report null columns
-    and are counted as skipped).  Returns one row per (benchmark, design)
-    pair, in first-appearance order.
+    and are counted as skipped).  Returns one row per (benchmark, backend)
+    pair — falling back to the design label for pre-v4 rows without a
+    backend column — in first-appearance order.
     """
     grouped: Dict[tuple, Dict[str, object]] = {}
     for row in rows:
         if "success_probability" not in row:
             continue
-        key = (row.get("benchmark"), row.get("design"))
+        key = (row.get("benchmark"), row.get("backend") or row.get("design"))
         bucket = grouped.setdefault(
             key,
             {
                 "benchmark": row.get("benchmark"),
+                "backend": row.get("backend"),
                 "design": row.get("design"),
                 "seeds": 0,
                 "skipped": 0,
@@ -96,6 +98,7 @@ def summarize_fidelity(rows: Sequence[Mapping[str, object]]) -> List[Dict[str, o
         summary.append(
             {
                 "benchmark": bucket["benchmark"],
+                "backend": bucket["backend"],
                 "design": bucket["design"],
                 "seeds": bucket["seeds"],
                 "trajectories": bucket["trajectories"],
@@ -148,6 +151,82 @@ def summarize_passes(traces: Sequence[Mapping[str, object]]) -> List[Dict[str, o
                 }
             )
     return rows
+
+
+def summarize_backends(
+    rows: Sequence[Mapping[str, object]],
+    backends: Sequence[object] = (),
+    tile_qubits: int = 1024,
+) -> List[Dict[str, object]]:
+    """The cross-backend comparison table: one row per device, all benchmarks.
+
+    Aggregates sweep rows (which carry a ``backend`` column since schema v4)
+    per backend: how many benchmark x seed jobs ran, the mean/worst
+    normalized execution time, mean serialization overhead, and — when
+    fidelity columns are present — the mean success probability.  Passing the
+    sweep's :class:`~repro.backends.Backend` objects appends the hardware
+    story (topology, controller power per qubit, and the max system size
+    within the 4 K budget), which is what makes "same benchmark, five
+    devices" a single readable table.  Every controller is costed at the
+    same ``tile_qubits`` tile (the paper's 1024 by default), so identical
+    controllers report identical power regardless of a backend's display
+    size.
+    """
+    by_name = {getattr(b, "name", None): b for b in backends}
+    has_fidelity = any("success_probability" in row for row in rows)
+    grouped: Dict[object, Dict[str, object]] = {}
+    for row in rows:
+        name = row.get("backend")
+        bucket = grouped.setdefault(
+            name,
+            {
+                "backend": name,
+                "design": row.get("design"),
+                "jobs": 0,
+                "normalized": [],
+                "serialization": [],
+                "success": [],
+            },
+        )
+        bucket["jobs"] += 1
+        if row.get("normalized_time") is not None:
+            bucket["normalized"].append(float(row["normalized_time"]))
+        if row.get("serialization_overhead") is not None:
+            bucket["serialization"].append(float(row["serialization_overhead"]))
+        if row.get("success_probability") is not None:
+            bucket["success"].append(float(row["success_probability"]))
+
+    summary = []
+    for bucket in grouped.values():
+        normalized, serialization = bucket["normalized"], bucket["serialization"]
+        entry: Dict[str, object] = {
+            "backend": bucket["backend"],
+            "design": bucket["design"],
+            "jobs": bucket["jobs"],
+            "mean_normalized_time": (
+                round(sum(normalized) / len(normalized), 4) if normalized else None
+            ),
+            "max_normalized_time": round(max(normalized), 4) if normalized else None,
+            "mean_serialization_overhead": (
+                round(sum(serialization) / len(serialization), 4) if serialization else None
+            ),
+        }
+        if has_fidelity:
+            entry["mean_success_probability"] = (
+                round(sum(bucket["success"]) / len(bucket["success"]), 6)
+                if bucket["success"]
+                else None
+            )
+        backend = by_name.get(bucket["backend"])
+        if backend is not None:
+            scalability = backend.scalability(tile_qubits=tile_qubits)
+            entry["topology"] = backend.topology
+            entry["power_per_qubit_mw"] = round(
+                scalability.tile_cost.power_per_qubit_mw, 4
+            )
+            entry["max_qubits_in_budget"] = scalability.max_qubits
+        summary.append(entry)
+    return summary
 
 
 def comparison_row(

@@ -1,0 +1,40 @@
+"""Unified device model: Targets, Backends, and the backend registry.
+
+Everything above the core used to thread loose device pieces around — a
+``DigiQConfig`` here, a ``GridCouplingMap`` there, error and noise rates
+somewhere else.  This package bundles them: a frozen
+:class:`~repro.backends.target.Target` describes the machine (coupling map,
+basis gates, durations, calibrated error rates), a
+:class:`~repro.backends.backend.Backend` pairs a target family with its
+DigiQ configuration, controller design and cost model, and the string-keyed
+registry (:func:`get_backend` / :func:`list_backends`) makes every device —
+the paper's DigiQ grid family plus the line, heavy-hex and cryo-CMOS
+variants — addressable by name from the compiler, the simulator, the
+runtime CLI and the analysis layer.
+"""
+
+from .backend import TOPOLOGIES, Backend
+from .registry import (
+    PAPER_DEVICE_QUBITS,
+    BackendNotFoundError,
+    backend_names,
+    get_backend,
+    list_backends,
+    register_backend,
+    unregister_backend,
+)
+from .target import DEFAULT_BASIS_GATES, Target
+
+__all__ = [
+    "Backend",
+    "BackendNotFoundError",
+    "DEFAULT_BASIS_GATES",
+    "PAPER_DEVICE_QUBITS",
+    "TOPOLOGIES",
+    "Target",
+    "backend_names",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,208 @@
+"""The string-keyed backend registry.
+
+``get_backend("digiq-opt8")`` is how every layer above the core names a
+device.  Three kinds of names resolve:
+
+* **fixed entries** — the built-in devices below plus anything added with
+  :func:`register_backend`;
+* **the DigiQ family** — any ``digiq-<variant><BS>[@g<G>]`` name (e.g.
+  ``digiq-opt16@g4``) materialises the matching grid device on demand, so
+  the whole Fig. 8 design space is addressable without pre-registering it;
+* **legacy config specs** — the CLI's historical ``opt8`` / ``min2`` /
+  ``opt16@g4`` strings resolve to the corresponding ``digiq-*`` backend,
+  keeping old command lines and stored sweep definitions working.
+
+The non-paper devices (``digiq-line``, ``digiq-heavy-hex``,
+``cryo-cmos-grid``) carry a frozen calibration seed: their targets embed
+per-qubit/per-coupler error rates, and noisy sweeps simulate those rates via
+:meth:`NoiseModel.from_target` instead of re-sampling a device per sweep.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Union
+
+from ..core.architecture import DigiQConfig
+from ..hardware.controller_designs import ControllerDesign
+from .backend import Backend
+
+#: Default device size of the paper's evaluation grid (32 x 32).
+PAPER_DEVICE_QUBITS = 1024
+
+_DIGIQ_NAME_RE = re.compile(r"^digiq-(opt|min)(\d+)(?:@g(\d+))?$")
+_LEGACY_SPEC_RE = re.compile(r"^(opt|min)(\d+)(?:@g(\d+))?$")
+
+
+class BackendNotFoundError(KeyError):
+    """Raised when a backend name matches nothing in the registry."""
+
+
+def _wrap_digiq_config(config: DigiQConfig, name: str) -> Backend:
+    """The single construction site for DigiQ grid-family backends."""
+    return Backend(
+        name=name,
+        topology="grid",
+        config=config,
+        controller=ControllerDesign(
+            variant=f"digiq_{config.variant}",
+            groups=config.groups,
+            bitstreams=config.bitstreams,
+        ),
+        description=f"{config.label} on the paper's square grid (Sec. VI-B)",
+        default_qubits=PAPER_DEVICE_QUBITS,
+    )
+
+
+def _digiq_name(config: DigiQConfig, explicit_groups: bool) -> str:
+    suffix = f"@g{config.groups}" if explicit_groups else ""
+    return f"digiq-{config.variant}{config.bitstreams}{suffix}"
+
+
+def _digiq_backend(
+    variant: str, bitstreams: int, groups: Optional[int] = None
+) -> Backend:
+    """Materialise one member of the DigiQ grid family."""
+    if bitstreams < 1:
+        raise ValueError(
+            f"bad DigiQ backend: BS must be >= 1, got {bitstreams} "
+            "(specs like 'opt0' are invalid)"
+        )
+    if groups is not None and groups < 1:
+        raise ValueError(
+            f"bad DigiQ backend: group count must be >= 1, got {groups} "
+            "(specs like '@g0' are invalid)"
+        )
+    kwargs = {"bitstreams": bitstreams}
+    if groups is not None:
+        kwargs["groups"] = groups
+    config = DigiQConfig.opt(**kwargs) if variant == "opt" else DigiQConfig.minimal(**kwargs)
+    return _wrap_digiq_config(config, _digiq_name(config, explicit_groups=groups is not None))
+
+
+def _line_backend() -> Backend:
+    config = DigiQConfig.opt(bitstreams=8)
+    return Backend(
+        name="digiq-line",
+        topology="line",
+        config=config,
+        controller=ControllerDesign(variant="digiq_opt", groups=2, bitstreams=8),
+        description="DigiQ_opt(BS=8) driving a 1-D chain (unique-path routing bound)",
+        default_qubits=64,
+        calibration_seed=11,
+    )
+
+
+def _heavy_hex_backend() -> Backend:
+    config = DigiQConfig.opt(bitstreams=8)
+    return Backend(
+        name="digiq-heavy-hex",
+        topology="heavy_hex",
+        config=config,
+        controller=ControllerDesign(variant="digiq_opt", groups=2, bitstreams=8),
+        description="DigiQ_opt(BS=8) on a heavy-hex-style lattice (sparse rungs)",
+        default_qubits=64,
+        calibration_seed=13,
+    )
+
+
+def _cryo_cmos_backend() -> Backend:
+    # Near-MIMD microwave control: many groups and a wide stored gate set
+    # approximate per-qubit arbitrary rotations in the SIMD execution model.
+    config = DigiQConfig.opt(groups=4, bitstreams=16)
+    return Backend(
+        name="cryo-cmos-grid",
+        topology="grid",
+        config=config,
+        controller=ControllerDesign(variant="cryo_cmos"),
+        description="Cryo-CMOS 4 K controller on the square grid (Sec. III-A baseline)",
+        default_qubits=512,
+        calibration_seed=17,
+    )
+
+
+#: Built-in factories; resolved lazily so importing the package stays cheap.
+_BUILTIN_FACTORIES: Dict[str, Callable[[], Backend]] = {
+    "digiq-opt8": lambda: _digiq_backend("opt", 8),
+    "digiq-opt16": lambda: _digiq_backend("opt", 16),
+    "digiq-min2": lambda: _digiq_backend("min", 2),
+    "digiq-min4": lambda: _digiq_backend("min", 4),
+    "digiq-line": _line_backend,
+    "digiq-heavy-hex": _heavy_hex_backend,
+    "cryo-cmos-grid": _cryo_cmos_backend,
+}
+
+#: User-registered backends (name -> factory); takes precedence over built-ins.
+_REGISTERED: Dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(
+    backend: Union[Backend, Callable[[], Backend]],
+    name: Optional[str] = None,
+    overwrite: bool = False,
+) -> str:
+    """Add a backend (or zero-argument factory) to the registry.
+
+    Returns the registered name.  Pass ``overwrite=True`` to replace an
+    existing entry; shadowing a built-in is always an explicit choice.
+    """
+    if isinstance(backend, Backend):
+        resolved_name = name or backend.name
+        factory: Callable[[], Backend] = lambda: backend  # noqa: E731
+    else:
+        if name is None:
+            raise ValueError("a factory registration needs an explicit name")
+        resolved_name = name
+        factory = backend
+    if not overwrite and (resolved_name in _REGISTERED or resolved_name in _BUILTIN_FACTORIES):
+        raise ValueError(
+            f"backend '{resolved_name}' already registered; pass overwrite=True to replace"
+        )
+    _REGISTERED[resolved_name] = factory
+    return resolved_name
+
+
+def unregister_backend(name: str) -> bool:
+    """Remove a user-registered backend; returns whether it existed."""
+    return _REGISTERED.pop(name, None) is not None
+
+
+def get_backend(name: Union[str, Backend, DigiQConfig]) -> Backend:
+    """Resolve a backend name (or legacy config spec, or objects) to a Backend.
+
+    Accepts registry names (``"digiq-opt8"``, ``"cryo-cmos-grid"``), any
+    DigiQ-family name (``"digiq-opt16@g4"``), legacy config specs
+    (``"opt8"``, ``"min2"``, ``"opt16@g4"``), :class:`Backend` instances
+    (returned as-is) and :class:`DigiQConfig` objects (wrapped into the
+    matching DigiQ grid backend).
+    """
+    if isinstance(name, Backend):
+        return name
+    if isinstance(name, DigiQConfig):
+        # Wrap the config as given — custom fields (clock, error target, ...)
+        # are preserved, and enter the backend's cache identity.
+        return _wrap_digiq_config(
+            name, _digiq_name(name, explicit_groups=name.groups != 2)
+        )
+    key = name.strip().lower()
+    factory = _REGISTERED.get(key) or _BUILTIN_FACTORIES.get(key)
+    if factory is not None:
+        return factory()
+    match = _DIGIQ_NAME_RE.match(key) or _LEGACY_SPEC_RE.match(key)
+    if match:
+        variant, bitstreams, groups = match.group(1), int(match.group(2)), match.group(3)
+        return _digiq_backend(variant, bitstreams, None if groups is None else int(groups))
+    raise BackendNotFoundError(
+        f"unknown backend '{name}'; known: {', '.join(backend_names())} "
+        "(or any digiq-<variant><BS>[@g<G>] name / legacy <variant><BS>[@g<G>] spec)"
+    )
+
+
+def backend_names() -> List[str]:
+    """Names of all fixed registry entries (built-in plus registered)."""
+    return sorted(set(_BUILTIN_FACTORIES) | set(_REGISTERED))
+
+
+def list_backends() -> List[Backend]:
+    """All fixed registry entries, resolved, sorted by name."""
+    return [get_backend(name) for name in backend_names()]

@@ -1,23 +1,214 @@
 """Device coupling maps.
 
 The paper maps every benchmark onto a 32x32 square grid of qubits
-(Sec. VI-B).  :class:`GridCouplingMap` models that device: qubits are
-addressed row-major, couplers connect nearest neighbours, and shortest-path
-queries (used by the SWAP router) exploit the grid structure for speed while a
-generic networkx graph is still exposed for analyses that want it.
+(Sec. VI-B); :class:`GridCouplingMap` models that device with fast
+grid-specialised queries.  The backend layer (:mod:`repro.backends`) also
+ships non-paper topologies, so the grid is one subclass of a generic
+:class:`CouplingMap`: any connected qubit graph with shortest-path,
+candidate-path and random-path queries that the routers and schedulers can
+consume.  :class:`LineCouplingMap` (a 1-D chain) and
+:class:`HeavyHexCouplingMap` (a grid with sparse vertical rungs, in the
+style of IBM's heavy-hex lattices) are the built-in alternatives, and
+:func:`coupling_to_dict` / :func:`coupling_from_dict` give every map a
+canonical JSON form for backend serialization and cache keys.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import networkx as nx
+import numpy as np
+
+
+class CouplingMap:
+    """A connected device graph of qubits and two-qubit couplers.
+
+    Subclasses must provide :attr:`num_qubits` and :meth:`couplers`; every
+    other query has a generic graph implementation here (breadth-first
+    distances, deterministic greedy shortest paths, randomised shortest
+    paths for the stochastic router).  Regular topologies override the
+    generic queries with closed-form ones — see :class:`GridCouplingMap`.
+    """
+
+    # -- structure (subclass responsibilities) ------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of physical qubits."""
+        raise NotImplementedError
+
+    def couplers(self) -> List[Tuple[int, int]]:
+        """All couplers as sorted (low, high) qubit index pairs."""
+        raise NotImplementedError
+
+    # -- generic queries ----------------------------------------------------------
+
+    @cached_property
+    def _adjacency(self) -> Dict[int, Tuple[int, ...]]:
+        adjacency: Dict[int, List[int]] = {q: [] for q in range(self.num_qubits)}
+        for a, b in self.couplers():
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        return {q: tuple(sorted(neighbors)) for q, neighbors in adjacency.items()}
+
+    @cached_property
+    def _distance_cache(self) -> Dict[int, Dict[int, int]]:
+        # Per-source BFS distance maps, filled lazily by _distances_from.
+        return {}
+
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self.num_qubits:
+            raise ValueError(f"qubit {qubit} outside device of {self.num_qubits} qubits")
+
+    def _distances_from(self, source: int) -> Dict[int, int]:
+        """BFS distance map from one qubit (memoized per source)."""
+        self._check_qubit(source)
+        cached = self._distance_cache.get(source)
+        if cached is not None:
+            return cached
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in distances:
+                    distances[neighbor] = distances[current] + 1
+                    queue.append(neighbor)
+        if len(distances) != self.num_qubits:
+            raise ValueError(
+                f"coupling map is disconnected: only {len(distances)} of "
+                f"{self.num_qubits} qubits reachable from {source}"
+            )
+        self._distance_cache[source] = distances
+        return distances
+
+    def neighbors(self, qubit: int) -> List[int]:
+        """Physical qubits directly coupled to ``qubit``."""
+        self._check_qubit(qubit)
+        return list(self._adjacency[qubit])
+
+    def are_coupled(self, a: int, b: int) -> bool:
+        """True if two physical qubits share a coupler."""
+        self._check_qubit(a)
+        return b in self._adjacency[a]
+
+    def distance(self, a: int, b: int) -> int:
+        """Coupling-graph distance between two qubits."""
+        self._check_qubit(b)
+        return self._distances_from(a)[b]
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """One deterministic shortest path from ``a`` to ``b`` (inclusive).
+
+        Walks from ``a`` greedily, always stepping to the lowest-indexed
+        neighbour that reduces the remaining distance to ``b``.
+        """
+        distances = self._distances_from(b)
+        path = [a]
+        current = a
+        while current != b:
+            current = min(
+                n for n in self._adjacency[current] if distances[n] < distances[current]
+            )
+            path.append(current)
+        return path
+
+    def candidate_paths(self, a: int, b: int) -> List[List[int]]:
+        """Deterministic shortest-path candidates for the lookahead router.
+
+        The generic implementation pairs the lowest-index greedy walk with
+        its highest-index mirror, which explores two different "sides" of
+        the graph; regular topologies override this with their canonical
+        path families (e.g. the grid's two L-paths).
+        """
+        low = self.shortest_path(a, b)
+        distances = self._distances_from(b)
+        high = [a]
+        current = a
+        while current != b:
+            current = max(
+                n for n in self._adjacency[current] if distances[n] < distances[current]
+            )
+            high.append(current)
+        return [low] if high == low else [low, high]
+
+    def random_shortest_path(self, a: int, b: int, rng: np.random.Generator) -> List[int]:
+        """A uniformly-randomised greedy shortest path (stochastic router)."""
+        distances = self._distances_from(b)
+        path = [a]
+        current = a
+        while current != b:
+            options = [n for n in self._adjacency[current] if distances[n] < distances[current]]
+            current = options[int(rng.integers(0, len(options)))]
+            path.append(current)
+        return path
+
+    # -- couplers -----------------------------------------------------------------
+
+    @property
+    def num_couplers(self) -> int:
+        """Number of couplers."""
+        return len(self.couplers())
+
+    def coupler_neighbors(self, coupler: Tuple[int, int]) -> List[Tuple[int, int]]:
+        """Couplers adjacent to (sharing a qubit with) the given coupler.
+
+        Used by the crosstalk-aware scheduler: two CZ gates on adjacent
+        couplers interfere and must not execute simultaneously.
+        """
+        a, b = coupler
+        adjacent = []
+        for qubit in (a, b):
+            for neighbor in self.neighbors(qubit):
+                other = tuple(sorted((qubit, neighbor)))
+                if other != tuple(sorted(coupler)):
+                    adjacent.append(other)
+        return adjacent
+
+    # -- layout support -----------------------------------------------------------
+
+    def layout_order(self) -> List[int]:
+        """Physical qubits in an adjacency-friendly order for initial layout.
+
+        Consecutive entries should be device neighbours as often as possible
+        (the benchmarks are dominated by linear registers).  The generic
+        implementation is a depth-first preorder from qubit 0, which walks
+        chains end to end; the grid overrides it with a boustrophedon.
+        """
+        order: List[int] = []
+        seen = set()
+        stack = [0]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            order.append(current)
+            stack.extend(reversed(self._adjacency[current]))
+        if len(order) != self.num_qubits:
+            raise ValueError("coupling map is disconnected")
+        return order
+
+    # -- graph view ---------------------------------------------------------------
+
+    @cached_property
+    def graph(self) -> nx.Graph:
+        """The coupling map as a networkx graph (nodes are qubit indices)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self.couplers())
+        return graph
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_qubits))
 
 
 @dataclass(frozen=True)
-class GridCouplingMap:
+class GridCouplingMap(CouplingMap):
     """A rectangular nearest-neighbour coupling map.
 
     Parameters
@@ -48,8 +239,7 @@ class GridCouplingMap:
 
     def position(self, qubit: int) -> Tuple[int, int]:
         """Grid position (row, col) of a physical qubit index."""
-        if not 0 <= qubit < self.num_qubits:
-            raise ValueError(f"qubit {qubit} outside device of {self.num_qubits} qubits")
+        self._check_qubit(qubit)
         return divmod(qubit, self.cols)
 
     def neighbors(self, qubit: int) -> List[int]:
@@ -112,6 +302,28 @@ class GridCouplingMap:
             col_first.append(self.index(row, col))
         return [row_first, col_first]
 
+    def candidate_paths(self, a: int, b: int) -> List[List[int]]:
+        """Deterministic candidates on the grid: the canonical L-paths."""
+        return self.monotone_paths(a, b)
+
+    def random_shortest_path(self, a: int, b: int, rng: np.random.Generator) -> List[int]:
+        """A shortest grid path from ``a`` to ``b``, randomising row/column order."""
+        row_s, col_s = self.position(a)
+        row_e, col_e = self.position(b)
+        path = [a]
+        row, col = row_s, col_s
+        moves: List[str] = []
+        moves.extend(["row"] * abs(row_e - row_s))
+        moves.extend(["col"] * abs(col_e - col_s))
+        rng.shuffle(moves)
+        for move in moves:
+            if move == "row":
+                row += 1 if row_e > row else -1
+            else:
+                col += 1 if col_e > col else -1
+            path.append(self.index(row, col))
+        return path
+
     # -- couplers -----------------------------------------------------------------
 
     def couplers(self) -> List[Tuple[int, int]]:
@@ -131,33 +343,122 @@ class GridCouplingMap:
         """Number of couplers (2 * rows * cols - rows - cols for a grid)."""
         return 2 * self.rows * self.cols - self.rows - self.cols
 
-    def coupler_neighbors(self, coupler: Tuple[int, int]) -> List[Tuple[int, int]]:
-        """Couplers adjacent to (sharing a qubit with) the given coupler.
+    # -- layout support -----------------------------------------------------------
 
-        Used by the crosstalk-aware scheduler: two CZ gates on adjacent
-        couplers interfere and must not execute simultaneously.
-        """
-        a, b = coupler
-        adjacent = []
-        for qubit in (a, b):
-            for neighbor in self.neighbors(qubit):
-                other = tuple(sorted((qubit, neighbor)))
-                if other != tuple(sorted(coupler)):
-                    adjacent.append(other)
-        return adjacent
+    def layout_order(self) -> List[int]:
+        """Boustrophedon (snake) order: every consecutive pair is adjacent."""
+        order: List[int] = []
+        for row in range(self.rows):
+            cols = range(self.cols) if row % 2 == 0 else range(self.cols - 1, -1, -1)
+            for col in cols:
+                order.append(self.index(row, col))
+        return order
 
-    # -- graph view ---------------------------------------------------------------
 
-    @cached_property
-    def graph(self) -> nx.Graph:
-        """The coupling map as a networkx graph (nodes are qubit indices)."""
-        graph = nx.Graph()
-        graph.add_nodes_from(range(self.num_qubits))
-        graph.add_edges_from(self.couplers())
-        return graph
+@dataclass(frozen=True)
+class LineCouplingMap(CouplingMap):
+    """A 1-D chain of qubits: qubit ``i`` couples to ``i - 1`` and ``i + 1``.
 
-    def __iter__(self) -> Iterator[int]:
-        return iter(range(self.num_qubits))
+    The simplest non-paper topology — there is exactly one shortest path
+    between any two qubits, so routing is fully deterministic and SWAP
+    counts are maximal for a given circuit, which makes the line a useful
+    lower-bound device in cross-backend comparisons.
+    """
+
+    num_sites: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_sites < 1:
+            raise ValueError("a line needs at least one qubit")
+
+    @property
+    def num_qubits(self) -> int:
+        return self.num_sites
+
+    def couplers(self) -> List[Tuple[int, int]]:
+        return [(i, i + 1) for i in range(self.num_sites - 1)]
+
+    def are_coupled(self, a: int, b: int) -> bool:
+        self._check_qubit(a)
+        self._check_qubit(b)
+        return abs(a - b) == 1
+
+    def distance(self, a: int, b: int) -> int:
+        self._check_qubit(a)
+        self._check_qubit(b)
+        return abs(a - b)
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        self._check_qubit(a)
+        self._check_qubit(b)
+        step = 1 if b >= a else -1
+        return list(range(a, b + step, step))
+
+    def candidate_paths(self, a: int, b: int) -> List[List[int]]:
+        return [self.shortest_path(a, b)]
+
+    def random_shortest_path(self, a: int, b: int, rng: np.random.Generator) -> List[int]:
+        # The line has a unique shortest path; nothing to randomise.
+        return self.shortest_path(a, b)
+
+    def layout_order(self) -> List[int]:
+        return list(range(self.num_sites))
+
+
+@dataclass(frozen=True)
+class HeavyHexCouplingMap(CouplingMap):
+    """A heavy-hex-style lattice: full rows, sparse vertical rungs.
+
+    Each row is a complete horizontal chain, but adjacent rows are joined
+    only at every fourth column, with the rung columns of successive row
+    pairs offset by two (the pattern of IBM's heavy-hex devices, whose
+    reduced coupler count trades routing distance for lower crosstalk and
+    frequency-collision pressure).  Rows shorter than a full rung period
+    fall back to a single rung at the last column so the graph stays
+    connected.
+    """
+
+    rows: int = 4
+    cols: int = 4
+
+    #: Rung period along a row and the per-row-pair offset.
+    RUNG_PERIOD = 4
+    RUNG_OFFSET = 2
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("lattice dimensions must be positive")
+
+    @property
+    def num_qubits(self) -> int:
+        return self.rows * self.cols
+
+    def index(self, row: int, col: int) -> int:
+        """Physical qubit index of lattice position (row, col)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"position ({row}, {col}) outside {self.rows}x{self.cols} lattice")
+        return row * self.cols + col
+
+    def position(self, qubit: int) -> Tuple[int, int]:
+        """Lattice position (row, col) of a physical qubit index."""
+        self._check_qubit(qubit)
+        return divmod(qubit, self.cols)
+
+    def rung_columns(self, row: int) -> List[int]:
+        """Columns carrying a vertical coupler between ``row`` and ``row + 1``."""
+        offset = 0 if row % 2 == 0 else self.RUNG_OFFSET
+        columns = [c for c in range(self.cols) if c % self.RUNG_PERIOD == offset]
+        return columns or [self.cols - 1]
+
+    def couplers(self) -> List[Tuple[int, int]]:
+        result = []
+        for row in range(self.rows):
+            for col in range(self.cols - 1):
+                result.append((self.index(row, col), self.index(row, col + 1)))
+            if row < self.rows - 1:
+                for col in self.rung_columns(row):
+                    result.append((self.index(row, col), self.index(row + 1, col)))
+        return result
 
 
 def smallest_grid_for(num_qubits: int) -> GridCouplingMap:
@@ -171,3 +472,54 @@ def smallest_grid_for(num_qubits: int) -> GridCouplingMap:
     while (rows - 1) * cols >= num_qubits:
         rows -= 1
     return GridCouplingMap(rows=rows, cols=cols)
+
+
+def smallest_heavy_hex_for(num_qubits: int) -> HeavyHexCouplingMap:
+    """The smallest near-square heavy-hex lattice holding ``num_qubits`` qubits."""
+    grid = smallest_grid_for(num_qubits)
+    return HeavyHexCouplingMap(rows=grid.rows, cols=grid.cols)
+
+
+#: Topology tag -> (class, field names), the single source of truth for the
+#: JSON form of every coupling map.
+_COUPLING_KINDS = {
+    "grid": (GridCouplingMap, ("rows", "cols")),
+    "line": (LineCouplingMap, ("num_sites",)),
+    "heavy_hex": (HeavyHexCouplingMap, ("rows", "cols")),
+}
+
+
+def coupling_kind(coupling: CouplingMap) -> str:
+    """The serialization tag of a coupling map's topology."""
+    for kind, (cls, _) in _COUPLING_KINDS.items():
+        if type(coupling) is cls:
+            return kind
+    raise TypeError(f"no serialization for coupling map type {type(coupling).__name__}")
+
+
+def coupling_to_dict(coupling: CouplingMap) -> Dict[str, object]:
+    """Canonical JSON-ready form of a coupling map."""
+    kind = coupling_kind(coupling)
+    _, fields = _COUPLING_KINDS[kind]
+    data: Dict[str, object] = {"kind": kind}
+    for name in fields:
+        data[name] = getattr(coupling, name)
+    return data
+
+
+def coupling_from_dict(data: Dict[str, object]) -> CouplingMap:
+    """Inverse of :func:`coupling_to_dict`."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if kind not in _COUPLING_KINDS:
+        raise ValueError(f"unknown coupling map kind '{kind}'; known: {sorted(_COUPLING_KINDS)}")
+    cls, fields = _COUPLING_KINDS[kind]
+    unexpected = set(payload) - set(fields)
+    if unexpected:
+        raise ValueError(f"unexpected coupling fields for '{kind}': {sorted(unexpected)}")
+    missing = set(fields) - set(payload)
+    if missing:
+        # Silently falling back to class defaults would reconstruct a wrong
+        # device from a truncated/version-skewed payload.
+        raise ValueError(f"missing coupling fields for '{kind}': {sorted(missing)}")
+    return cls(**{name: int(payload[name]) for name in fields})

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..circuits.circuit import QuantumCircuit
-from .coupling import GridCouplingMap
+from .coupling import CouplingMap
 
 
 class Layout:
@@ -73,20 +73,21 @@ class Layout:
         return Layout(self._l2p, self.num_physical)
 
 
-def trivial_layout(circuit: QuantumCircuit, coupling: GridCouplingMap) -> Layout:
+def trivial_layout(circuit: QuantumCircuit, coupling: CouplingMap) -> Layout:
     """Place logical qubit ``i`` on physical qubit ``i``."""
     _check_fits(circuit, coupling)
     return Layout({i: i for i in range(circuit.num_qubits)}, coupling.num_qubits)
 
 
-def snake_layout(circuit: QuantumCircuit, coupling: GridCouplingMap) -> Layout:
-    """Place logical qubits along a boustrophedon (snake) path over the grid."""
+def snake_layout(circuit: QuantumCircuit, coupling: CouplingMap) -> Layout:
+    """Place logical qubits along the device's adjacency-friendly path.
+
+    On the grid this is the boustrophedon (snake) path, where every
+    consecutive pair of logical qubits lands on physically adjacent qubits;
+    other topologies provide their own :meth:`~repro.compiler.coupling.CouplingMap.layout_order`.
+    """
     _check_fits(circuit, coupling)
-    order: List[int] = []
-    for row in range(coupling.rows):
-        cols = range(coupling.cols) if row % 2 == 0 else range(coupling.cols - 1, -1, -1)
-        for col in cols:
-            order.append(coupling.index(row, col))
+    order: List[int] = coupling.layout_order()
     mapping = {logical: order[logical] for logical in range(circuit.num_qubits)}
     return Layout(mapping, coupling.num_qubits)
 
@@ -99,7 +100,7 @@ LAYOUT_STRATEGIES = {
 }
 
 
-def build_layout(circuit: QuantumCircuit, coupling: GridCouplingMap, strategy: str = "snake") -> Layout:
+def build_layout(circuit: QuantumCircuit, coupling: CouplingMap, strategy: str = "snake") -> Layout:
     """Build an initial layout using the named strategy (``trivial`` or ``snake``)."""
     try:
         builder = LAYOUT_STRATEGIES[strategy.lower()]
@@ -110,7 +111,7 @@ def build_layout(circuit: QuantumCircuit, coupling: GridCouplingMap, strategy: s
     return builder(circuit, coupling)
 
 
-def _check_fits(circuit: QuantumCircuit, coupling: GridCouplingMap) -> None:
+def _check_fits(circuit: QuantumCircuit, coupling: CouplingMap) -> None:
     if circuit.num_qubits > coupling.num_qubits:
         raise ValueError(
             f"circuit needs {circuit.num_qubits} qubits but the device has only "

@@ -20,7 +20,7 @@ from typing import List, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import Gate
-from .coupling import GridCouplingMap
+from .coupling import CouplingMap
 from .layout import Layout
 from .passes import PropertySet, TransformationPass
 from .routing import RoutingResult, insert_swaps_along_path
@@ -34,7 +34,7 @@ DEFAULT_DECAY = 0.6
 
 def lookahead_route_circuit(
     circuit: QuantumCircuit,
-    coupling: GridCouplingMap,
+    coupling: CouplingMap,
     layout: Layout,
     lookahead: int = DEFAULT_LOOKAHEAD,
     decay: float = DEFAULT_DECAY,
@@ -95,7 +95,7 @@ def lookahead_route_circuit(
 
 
 def _best_candidate(
-    coupling: GridCouplingMap,
+    coupling: CouplingMap,
     layout: Layout,
     start: int,
     end: int,
@@ -104,15 +104,15 @@ def _best_candidate(
 ) -> Tuple[List[int], int]:
     """The (path, meeting) candidate minimising the lookahead cost.
 
-    Candidates are the canonical L-paths times every meeting coupler on the
-    path.  Cost is the decay-weighted sum of post-SWAP distances between the
+    Candidates are the coupling map's deterministic candidate paths (the
+    canonical L-paths on the grid) times every meeting coupler on the path.  Cost is the decay-weighted sum of post-SWAP distances between the
     operands of the upcoming two-qubit gates.  Ties break on the first
     candidate in enumeration order, keeping the router deterministic.
     """
     best_path: List[int] = []
     best_meeting = 0
     best_cost = None
-    for path in coupling.monotone_paths(start, end):
+    for path in coupling.candidate_paths(start, end):
         meetings = range(len(path) - 1) if len(path) >= 3 else [0]
         for meeting in meetings:
             trial = layout.copy()
@@ -141,7 +141,7 @@ class LookaheadRoute(TransformationPass):
         self.decay = decay
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        coupling: GridCouplingMap = properties.require("coupling", self.name)
+        coupling = properties.device_coupling(self.name)
         layout = properties.require("layout", self.name)
         result = lookahead_route_circuit(
             circuit, coupling, layout, lookahead=self.lookahead, decay=self.decay

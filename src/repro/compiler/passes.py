@@ -18,7 +18,10 @@ runtime's stored results.
 Well-known property names used by the built-in passes:
 
 ======================  =====================================================
-``coupling``            the target :class:`~repro.compiler.coupling.GridCouplingMap`
+``target``              the :class:`~repro.backends.target.Target` being
+                        compiled for (preferred; carries coupling and basis)
+``coupling``            the device :class:`~repro.compiler.coupling.CouplingMap`
+                        (kept for hand-built pipelines without a target)
 ``layout``              initial :class:`~repro.compiler.layout.Layout` (pre-routing)
 ``initial_layout``      layout snapshot the router started from
 ``final_layout``        layout after routing
@@ -37,7 +40,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from .basis import count_basis_violations, decompose_to_two_qubit_gates, rebase_to_cz_basis
-from .coupling import GridCouplingMap
+from .coupling import CouplingMap
 from .layout import build_layout
 from .routing import route_circuit
 from .scheduling import crosstalk_aware_schedule
@@ -57,6 +60,18 @@ class PropertySet(dict):
                 "pass produced; check the pipeline order"
             )
         return self[name]
+
+    def device_coupling(self, needed_by: str) -> CouplingMap:
+        """The device graph being compiled for.
+
+        Prefers the ``target`` property (the backend-layer device
+        description); falls back to a bare ``coupling`` so hand-built
+        pipelines and tests can keep supplying the map directly.
+        """
+        target = self.get("target")
+        if target is not None:
+            return target.coupling
+        return self.require("coupling", needed_by)
 
 
 @dataclass(frozen=True)
@@ -223,7 +238,7 @@ class BuildInitialLayout(AnalysisPass):
         self.strategy = strategy
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
-        coupling: GridCouplingMap = properties.require("coupling", self.name)
+        coupling = properties.device_coupling(self.name)
         properties["layout"] = build_layout(circuit, coupling, strategy=self.strategy)
 
 
@@ -235,7 +250,7 @@ class StochasticRoute(TransformationPass):
         self.trials = trials
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
-        coupling: GridCouplingMap = properties.require("coupling", self.name)
+        coupling = properties.device_coupling(self.name)
         layout = properties.require("layout", self.name)
         result = route_circuit(circuit, coupling, layout, seed=self.seed, trials=self.trials)
         properties["initial_layout"] = result.initial_layout
@@ -255,18 +270,27 @@ class RebaseToCZ(TransformationPass):
 
 
 class ValidateBasis(AnalysisPass):
-    """Assert every gate is inside the target basis (post-rebase invariant)."""
+    """Assert every gate is inside the target basis (post-rebase invariant).
 
-    def __init__(self, basis: Tuple[str, ...] = ("u3", "rz", "cz")):
-        self.basis = tuple(basis)
+    With no explicit ``basis`` the pass validates against the ``target``
+    property's basis gates (falling back to the DigiQ default); an explicit
+    ``basis`` always wins, so hand-built pipelines can check a stricter set.
+    """
+
+    def __init__(self, basis: Optional[Tuple[str, ...]] = None):
+        self.basis = None if basis is None else tuple(basis)
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
-        violations = count_basis_violations(circuit, basis=self.basis)
+        basis = self.basis
+        if basis is None:
+            target = properties.get("target")
+            basis = tuple(target.basis_gates) if target is not None else ("u3", "rz", "cz")
+        violations = count_basis_violations(circuit, basis=basis)
         properties["basis_violations"] = violations
         if violations:
             raise RuntimeError(
                 f"internal error: {violations} gates remain outside the "
-                f"{{{', '.join(self.basis)}}} basis"
+                f"{{{', '.join(basis)}}} basis"
             )
 
 
@@ -274,7 +298,7 @@ class ValidateCoupling(AnalysisPass):
     """Assert every two-qubit gate sits on a device coupler (post-routing)."""
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
-        coupling: GridCouplingMap = properties.require("coupling", self.name)
+        coupling = properties.device_coupling(self.name)
         violations = sum(
             1
             for gate in circuit
@@ -291,5 +315,5 @@ class ScheduleCrosstalkAware(AnalysisPass):
     """Group gates into moments under the adjacent-coupler CZ constraint."""
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
-        coupling: GridCouplingMap = properties.require("coupling", self.name)
+        coupling = properties.device_coupling(self.name)
         properties["schedule"] = crosstalk_aware_schedule(circuit, coupling)

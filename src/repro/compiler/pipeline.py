@@ -27,12 +27,15 @@ came from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from .coupling import GridCouplingMap, smallest_grid_for
+from .coupling import CouplingMap, smallest_grid_for
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (backends -> compiler)
+    from ..backends.target import Target
 from .layout import Layout
 from .lookahead import LookaheadRoute
 from .optimization import CancelInverseGates, CommutationAwareFusion
@@ -62,11 +65,11 @@ DEFAULT_OPT_LEVEL = 1
 
 @dataclass
 class CompiledCircuit:
-    """Result of compiling a logical circuit for the DigiQ device."""
+    """Result of compiling a logical circuit for one target device."""
 
     source: QuantumCircuit
     physical_circuit: QuantumCircuit
-    coupling: GridCouplingMap
+    coupling: CouplingMap
     initial_layout: Layout
     final_layout: Layout
     schedule: Schedule
@@ -74,6 +77,7 @@ class CompiledCircuit:
     opt_level: int = DEFAULT_OPT_LEVEL
     pipeline: str = "default"
     pass_trace: Tuple[PassRecord, ...] = field(default_factory=tuple)
+    target: Optional["Target"] = None
 
     @property
     def depth(self) -> int:
@@ -199,23 +203,29 @@ def build_pass_manager(
 
 def compile_circuit(
     circuit: QuantumCircuit,
-    coupling: Optional[GridCouplingMap] = None,
+    coupling: Optional[CouplingMap] = None,
     layout_strategy: str = "snake",
     seed: int = 0,
     routing_trials: int = 2,
     opt_level: int = DEFAULT_OPT_LEVEL,
     pipeline: str = "default",
     routing_seed: Optional[int] = None,
+    target: Optional["Target"] = None,
 ) -> CompiledCircuit:
-    """Compile a logical circuit down to scheduled {u3, rz, cz} on the grid.
+    """Compile a logical circuit down to its target's scheduled native basis.
 
     Parameters
     ----------
     circuit:
         The logical circuit (any library gates).
+    target:
+        The device to compile for (a :class:`~repro.backends.target.Target`,
+        usually from a registered :class:`~repro.backends.Backend`).  When
+        omitted, one is built around ``coupling`` — or around the smallest
+        square grid that fits the circuit, the paper's default.
     coupling:
-        Target device; defaults to the smallest square grid that fits the
-        circuit (the paper uses a fixed 32x32 grid).
+        Bare device graph, for callers that have no backend; mutually
+        exclusive with ``target``.
     layout_strategy:
         Initial placement strategy (``"snake"`` or ``"trivial"``).
     seed, routing_trials:
@@ -226,8 +236,14 @@ def compile_circuit(
         Optimization level (0/1/2) and router family (see
         :func:`build_pass_manager`).
     """
-    if coupling is None:
-        coupling = smallest_grid_for(circuit.num_qubits)
+    if target is not None and coupling is not None:
+        raise ValueError("pass either a target or a bare coupling map, not both")
+    if target is None:
+        from ..backends.target import Target
+
+        if coupling is None:
+            coupling = smallest_grid_for(circuit.num_qubits)
+        target = Target(name="ad-hoc", coupling=coupling)
 
     manager = build_pass_manager(
         opt_level=opt_level,
@@ -236,13 +252,13 @@ def compile_circuit(
         routing_seed=seed if routing_seed is None else routing_seed,
         routing_trials=routing_trials,
     )
-    properties = PropertySet({"coupling": coupling})
+    properties = PropertySet({"target": target, "coupling": target.coupling})
     physical, properties, trace = manager.run(circuit, properties)
 
     return CompiledCircuit(
         source=circuit,
         physical_circuit=physical,
-        coupling=coupling,
+        coupling=target.coupling,
         initial_layout=properties["initial_layout"],
         final_layout=properties["final_layout"],
         schedule=properties["schedule"],
@@ -250,4 +266,5 @@ def compile_circuit(
         opt_level=opt_level,
         pipeline=pipeline,
         pass_trace=tuple(trace),
+        target=target,
     )

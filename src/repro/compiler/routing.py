@@ -19,7 +19,7 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import Gate
-from .coupling import GridCouplingMap
+from .coupling import CouplingMap
 from .layout import Layout
 
 
@@ -48,7 +48,7 @@ class RoutingResult:
 
 def route_circuit(
     circuit: QuantumCircuit,
-    coupling: GridCouplingMap,
+    coupling: CouplingMap,
     layout: Layout,
     seed: int = 0,
     trials: int = 4,
@@ -79,7 +79,7 @@ def route_circuit(
 
 def _route_once(
     circuit: QuantumCircuit,
-    coupling: GridCouplingMap,
+    coupling: CouplingMap,
     layout: Layout,
     rng: np.random.Generator,
 ) -> RoutingResult:
@@ -96,7 +96,7 @@ def _route_once(
         physical_a = layout.physical(logical_a)
         physical_b = layout.physical(logical_b)
         if not coupling.are_coupled(physical_a, physical_b):
-            path = _random_shortest_path(coupling, physical_a, physical_b, rng)
+            path = coupling.random_shortest_path(physical_a, physical_b, rng)
             # The random meeting coupler distributes the movement between the
             # endpoints (the stochastic element that gives the router its name).
             meeting = int(rng.integers(0, len(path) - 1)) if len(path) >= 3 else 0
@@ -111,27 +111,6 @@ def _route_once(
         final_layout=layout,
         num_swaps=num_swaps,
     )
-
-
-def _random_shortest_path(
-    coupling: GridCouplingMap, start: int, end: int, rng: np.random.Generator
-) -> List[int]:
-    """A shortest grid path from start to end, randomising row/column order."""
-    row_s, col_s = coupling.position(start)
-    row_e, col_e = coupling.position(end)
-    path = [start]
-    row, col = row_s, col_s
-    moves: List[str] = []
-    moves.extend(["row"] * abs(row_e - row_s))
-    moves.extend(["col"] * abs(col_e - col_s))
-    rng.shuffle(moves)
-    for move in moves:
-        if move == "row":
-            row += 1 if row_e > row else -1
-        else:
-            col += 1 if col_e > col else -1
-        path.append(coupling.index(row, col))
-    return path
 
 
 def insert_swaps_along_path(

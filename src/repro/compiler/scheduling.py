@@ -20,7 +20,7 @@ from typing import List, Optional, Set, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import Gate
-from .coupling import GridCouplingMap
+from .coupling import CouplingMap
 
 
 @dataclass
@@ -99,7 +99,7 @@ def asap_schedule(circuit: QuantumCircuit) -> Schedule:
 
 def crosstalk_aware_schedule(
     circuit: QuantumCircuit,
-    coupling: Optional[GridCouplingMap] = None,
+    coupling: Optional[CouplingMap] = None,
 ) -> Schedule:
     """Schedule a circuit with the crosstalk constraint on simultaneous CZs.
 
@@ -150,7 +150,7 @@ def crosstalk_aware_schedule(
 
 
 def _couplers_adjacent(
-    coupling: GridCouplingMap, a: Tuple[int, int], b: Tuple[int, int]
+    coupling: CouplingMap, a: Tuple[int, int], b: Tuple[int, int]
 ) -> bool:
     """True if two couplers share a qubit or have directly-coupled endpoints."""
     if set(a) & set(b):

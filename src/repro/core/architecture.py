@@ -20,7 +20,7 @@ model.  The values default to the paper's evaluation setup (Sec. VI-B):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..physics.constants import (
@@ -237,6 +237,21 @@ class DigiQConfig:
     def with_bitstreams(self, bitstreams: int) -> "DigiQConfig":
         """A copy with a different BS value."""
         return replace(self, bitstreams=bitstreams)
+
+    # -- serialization ---------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready dict form (stable key order, lists not tuples)."""
+        data = asdict(self)
+        data["parking_frequencies"] = list(data["parking_frequencies"])
+        return {key: data[key] for key in sorted(data)}
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "DigiQConfig":
+        """Inverse of :meth:`as_dict`."""
+        payload = dict(data)
+        payload["parking_frequencies"] = tuple(payload["parking_frequencies"])
+        return DigiQConfig(**payload)
 
     @property
     def label(self) -> str:

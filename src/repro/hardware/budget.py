@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from .controller_designs import ControllerDesign, DesignCost, evaluate_design
+from .controller_designs import (
+    CRYO_CMOS_POWER_PER_QUBIT_MW,
+    ControllerDesign,
+    DesignCost,
+    evaluate_design,
+)
 
 #: Power budget of the 4 K stage in watts (the paper's headline assumption).
 DEFAULT_POWER_BUDGET_W = 10.0
@@ -28,9 +33,6 @@ MILLIKELVIN_BUDGET_W = 10e-6
 
 #: Usable area of one SFQ die in mm^2 (a generous 2 cm x 2 cm reticle).
 DEFAULT_CHIP_AREA_MM2 = 400.0
-
-#: Power per qubit of the Cryo-CMOS prototype of [Van Dijk et al. 2020], mW.
-CRYO_CMOS_POWER_PER_QUBIT_MW = 12.0
 
 #: Tile size the paper replicates to scale beyond one fridge-stage controller.
 TILE_QUBITS = 1024

@@ -76,6 +76,15 @@ MIMD_DECOMP_GATE_SET = 2
 #: SFQ_MIMD_decomp at 1024 qubits.
 MIMD_DECOMP_ISSUE_INTERVAL_NS = 2.0
 
+#: Power per qubit of the Cryo-CMOS prototype of [Van Dijk et al. 2020], mW.
+#: The paper's Sec. III-A scalability discussion uses this as the baseline
+#: that caps Cryo-CMOS control at roughly 800 qubits under a 10 W budget.
+CRYO_CMOS_POWER_PER_QUBIT_MW = 12.0
+
+#: Die area per qubit of the Cryo-CMOS controller, mm^2 (per-qubit share of
+#: the transceiver prototype's active area).
+CRYO_CMOS_AREA_PER_QUBIT_MM2 = 0.5
+
 
 @dataclass(frozen=True)
 class ControllerDesign:
@@ -84,12 +93,13 @@ class ControllerDesign:
     Parameters
     ----------
     variant:
-        ``"mimd_naive"``, ``"mimd_decomp"``, ``"digiq_min"`` or ``"digiq_opt"``.
+        ``"mimd_naive"``, ``"mimd_decomp"``, ``"digiq_min"``, ``"digiq_opt"``
+        or ``"cryo_cmos"`` (the 4 K CMOS baseline of Sec. III-A).
     groups:
-        Number of SIMD qubit groups ``G`` (ignored by the MIMD designs).
+        Number of SIMD qubit groups ``G`` (ignored by the non-SIMD designs).
     bitstreams:
         Number of distinct SFQ gates per group per cycle ``BS`` (ignored by
-        the MIMD designs).
+        the non-SIMD designs).
     """
 
     variant: str
@@ -98,10 +108,10 @@ class ControllerDesign:
 
     def __post_init__(self) -> None:
         variant = self.variant.lower()
-        if variant not in ("mimd_naive", "mimd_decomp", "digiq_min", "digiq_opt"):
+        if variant not in ("mimd_naive", "mimd_decomp", "digiq_min", "digiq_opt", "cryo_cmos"):
             raise ValueError(
                 f"unknown variant '{self.variant}'; expected mimd_naive, mimd_decomp, "
-                "digiq_min or digiq_opt"
+                "digiq_min, digiq_opt or cryo_cmos"
             )
         object.__setattr__(self, "variant", variant)
         if self.is_simd and (self.groups < 1 or self.bitstreams < 1):
@@ -119,6 +129,8 @@ class ControllerDesign:
             return "SFQ_MIMD_naive"
         if self.variant == "mimd_decomp":
             return "SFQ_MIMD_decomp"
+        if self.variant == "cryo_cmos":
+            return "Cryo-CMOS"
         name = "DigiQ_min" if self.variant == "digiq_min" else "DigiQ_opt"
         return f"{name}(G={self.groups},BS={self.bitstreams})"
 
@@ -127,7 +139,7 @@ class ControllerDesign:
         """Controller cycle period used for the cable-count model, in ns."""
         if self.variant == "digiq_opt":
             return DIGIQ_MIN_CYCLE_NS + DIGIQ_OPT_DELAY_NS
-        if self.variant == "digiq_min":
+        if self.variant in ("digiq_min", "cryo_cmos"):
             return DIGIQ_MIN_CYCLE_NS
         if self.variant == "mimd_decomp":
             return MIMD_DECOMP_ISSUE_INTERVAL_NS
@@ -143,6 +155,9 @@ class ControllerDesign:
         if self.variant == "mimd_naive":
             # The bitstream itself is the instruction; only the 2q_sel bits
             # and an apply/idle flag ride along.
+            return 2
+        if self.variant == "cryo_cmos":
+            # Pulses are synthesised in-fridge; only gate opcodes stream down.
             return 2
         if self.variant == "mimd_decomp":
             choices = MIMD_DECOMP_GATE_SET + 3
@@ -291,6 +306,8 @@ def _block_instances(design: ControllerDesign, num_qubits: int) -> List[Tuple[st
 
 def storage_bits(design: ControllerDesign, num_qubits: int) -> int:
     """Total number of SFQ bitstream storage bits of a design (Sec. VI-A.4)."""
+    if design.variant == "cryo_cmos":
+        return 0  # pulses come from CMOS DACs, not stored SFQ bitstreams
     if design.variant == "mimd_naive":
         return num_qubits * BITSTREAM_BITS
     if design.variant == "mimd_decomp":
@@ -320,6 +337,21 @@ def evaluate_design(design: ControllerDesign, num_qubits: int = 1024) -> DesignC
     """Total power/area/cable cost of a design point at ``num_qubits`` qubits."""
     if num_qubits < 1:
         raise ValueError("num_qubits must be positive")
+    if design.variant == "cryo_cmos":
+        # The CMOS baseline is not built from SFQ blocks: its cost is the
+        # published per-qubit power/area of the transceiver prototype.
+        power_mw = CRYO_CMOS_POWER_PER_QUBIT_MW * num_qubits
+        area_mm2 = CRYO_CMOS_AREA_PER_QUBIT_MM2 * num_qubits
+        return DesignCost(
+            design=design,
+            num_qubits=num_qubits,
+            total_power_w=power_mw * 1e-3,
+            total_area_mm2=area_mm2,
+            cable_count=cable_count(design, num_qubits),
+            storage_bits=0,
+            worst_stage_delay_ps=0.0,
+            block_breakdown={"cryo_cmos_controller": (num_qubits, power_mw, area_mm2)},
+        )
     blocks = _block_instances(design, num_qubits)
 
     total_power_mw = 0.0

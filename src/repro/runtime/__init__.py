@@ -2,15 +2,17 @@
 
 The packages below this one model the paper; this package runs it at scale.
 A sweep is declared as a :class:`~repro.runtime.spec.SweepGrid` (benchmarks x
-DigiQ configs x seeds), expanded into content-addressed jobs, executed across
-a process pool with one compilation per benchmark instance, and cached in an
-on-disk :class:`~repro.runtime.store.ResultStore` so reruns and resumed
-sweeps skip completed work.  ``python -m repro.runtime`` is the CLI front end.
+registered backends x seeds), expanded into content-addressed jobs, executed
+across a process pool with one compilation per benchmark instance and device
+topology, and cached in an on-disk :class:`~repro.runtime.store.ResultStore`
+so reruns and resumed sweeps skip completed work.  ``python -m repro.runtime``
+is the CLI front end.
 """
 
 from .dispatch import SweepReport, default_worker_count, run_sweep
 from .jobs import JobResult, circuit_fingerprint, job_key
 from .spec import (
+    DEFAULT_BACKEND_NAMES,
     CompileOptions,
     ExperimentSpec,
     FidelityOptions,
@@ -18,11 +20,13 @@ from .spec import (
     config_from_dict,
     config_to_dict,
     parse_config,
+    resolve_backend,
 )
 from .store import ResultStore, canonical_json
 
 __all__ = [
     "CompileOptions",
+    "DEFAULT_BACKEND_NAMES",
     "ExperimentSpec",
     "FidelityOptions",
     "JobResult",
@@ -36,5 +40,6 @@ __all__ = [
     "default_worker_count",
     "job_key",
     "parse_config",
+    "resolve_backend",
     "run_sweep",
 ]

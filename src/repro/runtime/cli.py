@@ -1,14 +1,18 @@
-"""``python -m repro.runtime`` — run a benchmark x config sweep from the shell.
+"""``python -m repro.runtime`` — run a benchmark x backend sweep from the shell.
 
 With no arguments the CLI runs the default grid (three Table IV benchmarks x
-three DigiQ configurations at a small device size), prints cache accounting
-and a Fig. 9-style normalized-execution-time table, and leaves every job
-result in the on-disk store so the next invocation is pure cache hits.
+three DigiQ backends at a small device size), prints cache accounting and a
+Fig. 9-style normalized-execution-time table, and leaves every job result in
+the on-disk store so the next invocation is pure cache hits.  Sweeping more
+than one backend also prints the cross-backend comparison table.
 
 Examples::
 
     python -m repro.runtime
+    python -m repro.runtime --list-backends
     python -m repro.runtime --benchmarks qgan ising bv add1 --configs opt8 min2
+    python -m repro.runtime --benchmarks qgan --backend digiq-opt8 \\
+        --backend digiq-min2 --backend cryo-cmos-grid
     python -m repro.runtime --qubits 25 --seeds 0 1 2 --workers 4 --power
     python -m repro.runtime --qubits 12 --fidelity --trajectories 200
     python -m repro.runtime --opt-level 2 --pass-metrics
@@ -24,22 +28,25 @@ import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis.report import format_table, summarize_fidelity, summarize_passes
+from ..analysis.report import (
+    format_table,
+    summarize_backends,
+    summarize_fidelity,
+    summarize_passes,
+)
+from ..backends import Backend, list_backends
 from ..circuits.benchmarks import BENCHMARK_NAMES
 from ..compiler.layout import LAYOUT_STRATEGIES
 from ..compiler.pipeline import DEFAULT_OPT_LEVEL, OPT_LEVELS, PIPELINE_NAMES
-from ..core.architecture import DigiQConfig
-from ..hardware.budget import FridgeBudget, max_qubits_within_budget
-from ..hardware.controller_designs import ControllerDesign
 from ..simulation.trajectories import DEFAULT_BATCH_SIZE
 from .dispatch import SweepReport, default_worker_count, run_sweep
 from .spec import (
+    DEFAULT_BACKEND_NAMES,
     DEFAULT_BENCHMARKS,
-    DEFAULT_CONFIG_SPECS,
     CompileOptions,
     FidelityOptions,
     SweepGrid,
-    parse_config,
+    resolve_backend,
 )
 from .store import DEFAULT_STORE_DIR, ResultStore
 
@@ -59,9 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--configs",
         nargs="+",
-        default=list(DEFAULT_CONFIG_SPECS),
+        default=None,
         metavar="SPEC",
-        help="DigiQ configs as <variant><BS>[@g<G>] specs, e.g. opt8 min2 opt16@g4",
+        help="legacy DigiQ config specs (<variant><BS>[@g<G>], e.g. opt8 min2 "
+        "opt16@g4); each resolves to the matching digiq-* backend",
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        default=None,
+        metavar="NAME",
+        dest="backends",
+        help="registered backend to sweep (repeatable), e.g. --backend "
+        "digiq-opt8 --backend cryo-cmos-grid; see --list-backends",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="print the backend registry table and exit",
     )
     parser.add_argument(
         "--qubits", type=int, default=16, help="target device size per benchmark (default 16)"
@@ -142,18 +164,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _power_rows(configs: Sequence[DigiQConfig], tile_qubits: int) -> List[Dict[str, object]]:
-    """Per-config power/scalability rows from the hardware cost model."""
-    rows = []
-    for config in configs:
-        design = ControllerDesign(
-            variant=f"digiq_{config.variant}",
-            groups=config.groups,
-            bitstreams=config.bitstreams,
-        )
-        result = max_qubits_within_budget(design, budget=FridgeBudget(), tile_qubits=tile_qubits)
-        rows.append(result.summary())
-    return rows
+def _power_rows(backends: Sequence[Backend], tile_qubits: int) -> List[Dict[str, object]]:
+    """Per-backend power/scalability rows from the hardware cost model."""
+    return [
+        backend.scalability(tile_qubits=tile_qubits).summary() for backend in backends
+    ]
+
+
+def _registry_rows() -> List[Dict[str, object]]:
+    """The ``--list-backends`` table: every fixed registry entry."""
+    return [
+        {
+            "backend": backend.name,
+            "topology": backend.topology,
+            "design": backend.design_label,
+            "default_qubits": backend.default_qubits,
+            "noise": "calibrated" if backend.calibration_seed is not None else "sampled",
+            "description": backend.description,
+        }
+        for backend in list_backends()
+    ]
 
 
 def render_report(report: SweepReport, elapsed_s: float) -> str:
@@ -164,7 +194,7 @@ def render_report(report: SweepReport, elapsed_s: float) -> str:
         accounting += f", {summary['duplicates']} duplicate"
     lines = [
         (
-            f"sweep: {summary['benchmarks']} benchmarks x {summary['configs']} configs "
+            f"sweep: {summary['benchmarks']} benchmarks x {summary['backends']} backends "
             f"x {summary['seeds']} seeds = {summary['jobs']} jobs "
             f"({accounting}) in {elapsed_s:.2f}s"
         ),
@@ -177,6 +207,10 @@ def render_report(report: SweepReport, elapsed_s: float) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.list_backends:
+        print(format_table(_registry_rows(), title="Registered backends"))
+        return 0
 
     if not args.fidelity:
         non_defaults = [
@@ -193,7 +227,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"{', '.join(non_defaults)} require(s) --fidelity")
 
     try:
-        configs = tuple(parse_config(spec) for spec in args.configs)
+        backend_specs = list(args.configs or []) + list(args.backends or [])
+        if not backend_specs:
+            backend_specs = list(DEFAULT_BACKEND_NAMES)
+        backends = tuple(resolve_backend(spec) for spec in backend_specs)
         fidelity = None
         if args.fidelity:
             fidelity = FidelityOptions(
@@ -204,7 +241,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         grid = SweepGrid(
             benchmarks=tuple(args.benchmarks),
-            configs=configs,
+            backends=backends,
             num_qubits=args.qubits,
             seeds=tuple(args.seeds),
             compile_options=CompileOptions(
@@ -217,7 +254,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             fidelity=fidelity,
         )
     except (KeyError, ValueError) as error:
-        parser.error(str(error))
+        # KeyError (e.g. BackendNotFoundError) reprs with quotes; unwrap.
+        message = error.args[0] if error.args else str(error)
+        parser.error(str(message))
 
     workers = args.workers if args.workers is not None else default_worker_count()
     if workers < 1:
@@ -235,17 +274,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         payload = {
             "summary": report.summary(),
             "rows": report.rows,
+            "backends": summarize_backends(
+                report.rows, grid.backends, tile_qubits=max(64, args.qubits)
+            ),
         }
         if args.fidelity:
             payload["fidelity_summary"] = summarize_fidelity(report.rows)
         if args.pass_metrics:
             payload["pass_metrics"] = summarize_passes(report.pass_traces())
         if args.power:
-            payload["power"] = _power_rows(grid.configs, tile_qubits=max(64, args.qubits))
+            payload["power"] = _power_rows(grid.backends, tile_qubits=max(64, args.qubits))
         print(json.dumps(payload, sort_keys=True, indent=2))
         return 0
 
     print(render_report(report, elapsed))
+    if len(grid.backends) > 1:
+        print()
+        print(
+            format_table(
+                summarize_backends(
+                    report.rows, grid.backends, tile_qubits=max(64, args.qubits)
+                ),
+                title="Cross-backend comparison",
+            )
+        )
     if args.fidelity:
         print()
         print(
@@ -266,7 +318,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print(
             format_table(
-                _power_rows(grid.configs, tile_qubits=max(64, args.qubits)),
+                _power_rows(grid.backends, tile_qubits=max(64, args.qubits)),
                 title="Controller power & scalability (Sec. VI-A.3)",
             )
         )

@@ -5,9 +5,9 @@ rows in three steps:
 
 1. expand the grid into jobs and compute each job's content-addressed key;
 2. split cache hits from misses against the :class:`~repro.runtime.store.ResultStore`;
-3. batch the misses by *compile group* — all configs of one benchmark
-   instance share a single compilation — and execute the groups either
-   serially or on a ``ProcessPoolExecutor``.
+3. batch the misses by *compile group* — all backends of one benchmark
+   instance that share a device topology share a single compilation — and
+   execute the groups either serially or on a ``ProcessPoolExecutor``.
 
 Results are re-assembled in grid-expansion order, so a parallel run yields
 exactly the same row sequence (byte-identical under canonical JSON) as a
@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.benchmarks import build_benchmark
 from .jobs import JobResult, execute_compile_group, job_key, ordered_row
-from .spec import ExperimentSpec, SweepGrid, config_to_dict
+from .spec import ExperimentSpec, SweepGrid
 from .store import ResultStore, canonical_json
 
 
@@ -75,16 +75,16 @@ class SweepReport:
             "cached": self.num_cached,
             "duplicates": self.num_duplicates,
             "benchmarks": len(self.grid.benchmarks),
-            "configs": len(self.grid.configs),
+            "backends": len(self.grid.backends),
             "seeds": len(self.grid.seeds),
         }
 
     def pass_traces(self) -> List[Dict[str, object]]:
         """Per-pass compile metrics, one entry per compile group in grid order.
 
-        All configs of one compiled benchmark share the same trace, so each
-        group contributes a single entry (results computed before schema v3
-        carry no trace and are skipped).
+        All backends of one compiled benchmark that share a topology share
+        the same trace, so each group contributes a single entry (results
+        computed before schema v3 carry no trace and are skipped).
         """
         seen = set()
         traces: List[Dict[str, object]] = []
@@ -96,6 +96,7 @@ class SweepReport:
                 spec.get("benchmark"),
                 spec.get("num_qubits"),
                 spec.get("seed"),
+                spec.get("backend", {}).get("topology"),
                 canonical_json(spec.get("compile", {})),
             )
             if ident in seen:
@@ -152,7 +153,7 @@ def _group_payloads(
         payload["jobs"].append(
             {
                 "key": keys[index],
-                "config": config_to_dict(spec.config),
+                "backend": spec.backend.to_dict(),
                 "fidelity": spec.fidelity.as_dict() if spec.fidelity is not None else None,
             }
         )

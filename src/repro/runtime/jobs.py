@@ -2,14 +2,17 @@
 
 A job's *key* is a SHA-256 over everything that determines its result: the
 exact gate stream of the benchmark circuit, the compiler options, and the
-DigiQ configuration.  Two sweeps that build the same circuit and schedule it
-the same way therefore share cache entries, regardless of how the sweep was
-phrased — the result store is content-addressed, not name-addressed.
+backend (its topology family, DigiQ configuration, controller and
+calibration).  Two sweeps that build the same circuit and schedule it the
+same way therefore share cache entries, regardless of how the sweep was
+phrased — the result store is content-addressed, not name-addressed, and a
+legacy ``--configs opt8`` sweep hits the same entries as ``--backend
+digiq-opt8``.
 
 :func:`execute_compile_group` is the unit of work the dispatcher sends to a
-worker process: it compiles one benchmark instance *once* and evaluates every
-requested configuration against that single compilation, which is what makes
-wide config sweeps cheap.
+worker process: it compiles one benchmark instance *once* per device
+topology and evaluates every requested backend against that single
+compilation, which is what makes wide backend sweeps cheap.
 """
 
 from __future__ import annotations
@@ -19,18 +22,16 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..backends import Backend
 from ..circuits.benchmarks import build_benchmark
 from ..circuits.circuit import QuantumCircuit
 from ..compiler.pipeline import CompiledCircuit, compile_circuit
 from ..core.execution import normalized_execution_time
-from ..simulation.channels import NoiseModel
 from ..simulation.engine import run_trajectories
 from .spec import (
     CompileOptions,
     ExperimentSpec,
     FidelityOptions,
-    config_from_dict,
-    config_to_dict,
 )
 from .store import canonical_json
 
@@ -39,12 +40,16 @@ from .store import canonical_json
 #: v2: Monte-Carlo fidelity columns + fidelity options in the job key.
 #: v3: pass-manager compile options (opt_level/pipeline/routing_seed) in the
 #: job key, opt_level column, per-pass compile trace stored with each result.
-RESULT_SCHEMA_VERSION = 3
+#: v4: jobs are keyed on the full backend description (topology + config +
+#: controller + calibration) instead of a bare DigiQConfig; rows carry the
+#: backend name.
+RESULT_SCHEMA_VERSION = 4
 
 #: Canonical column order of a result row.  Stored entries round-trip through
 #: sorted-key JSON, so presentation order is re-imposed from this list.
 ROW_COLUMNS = (
     "benchmark",
+    "backend",
     "design",
     "seed",
     "opt_level",
@@ -92,8 +97,8 @@ def job_key(spec: ExperimentSpec, circuit: Optional[QuantumCircuit] = None) -> s
     """Content hash identifying one job's result.
 
     The key covers the circuit contents (not just the benchmark name), the
-    compile options, and the full configuration, so any change to a benchmark
-    generator, the compiler knobs, or an architecture parameter produces a
+    compile options, and the full backend description, so any change to a
+    benchmark generator, the compiler knobs, or a device parameter produces a
     fresh key and a clean recompute instead of a stale cache hit.
     """
     if circuit is None:
@@ -103,7 +108,7 @@ def job_key(spec: ExperimentSpec, circuit: Optional[QuantumCircuit] = None) -> s
         "circuit": circuit_fingerprint(circuit),
         "compile": spec.compile_options.as_dict(),
         "compile_seed": spec.seed,
-        "config": config_to_dict(spec.config),
+        "backend": spec.backend.identity_dict(),
         "fidelity": spec.fidelity.as_dict() if spec.fidelity is not None else None,
     }
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
@@ -146,8 +151,9 @@ def _fidelity_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, 
 
     The *physical* compiled circuit is simulated: SWAP insertion, basis
     rebasing and the device's coupler set all shape the answer, exactly as
-    they shape the timing columns.  The noise model is sampled per config
-    (groups and parking frequencies differ between configs), pinned by
+    they shape the timing columns.  The noise model comes from the backend:
+    calibrated backends contribute their target's frozen rates, sampled
+    backends draw a device from the variability model pinned by
     ``noise_seed``; the trajectory randomness is pinned by the job seed.
     """
     options = spec.fidelity
@@ -159,9 +165,8 @@ def _fidelity_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, 
             "state_fidelity": None,
             "trajectories": 0,
         }
-    noise = NoiseModel.sampled(
+    noise = spec.backend.noise_model(
         num_physical,
-        config=spec.config,
         couplers=sorted(compiled.physical_circuit.two_qubit_pairs()),
         seed=options.noise_seed,
     )
@@ -177,11 +182,13 @@ def _fidelity_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, 
 
 
 def _result_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, object]:
-    """The Fig. 9 row for one (compiled benchmark, config) pair, with compile stats."""
+    """The Fig. 9 row for one (compiled benchmark, backend) pair, with compile stats."""
     estimate = normalized_execution_time(compiled, spec.config, benchmark_name=spec.benchmark)
     row = estimate.as_row()
     row.update(
         {
+            "backend": spec.backend.name,
+            "design": spec.backend.design_label,
             "seed": spec.seed,
             "opt_level": spec.compile_options.opt_level,
             "logical_qubits": compiled.source.num_qubits,
@@ -197,11 +204,16 @@ def _result_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, ob
 
 
 def compile_spec(spec: ExperimentSpec) -> CompiledCircuit:
-    """Build and compile the benchmark instance one spec describes."""
+    """Build and compile the benchmark instance one spec describes.
+
+    The device is the spec's backend target, sized to the circuit — the
+    paper's "smallest grid that fits" behaviour, generalised per topology.
+    """
     circuit = build_benchmark(spec.benchmark, num_qubits=spec.num_qubits, seed=spec.seed)
     options = spec.compile_options
     return compile_circuit(
         circuit,
+        target=spec.backend.target_for(circuit.num_qubits),
         layout_strategy=options.layout_strategy,
         seed=spec.seed,
         routing_trials=options.routing_trials,
@@ -218,17 +230,19 @@ def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]
 
         {"benchmark": ..., "num_qubits": ..., "seed": ...,
          "compile": {"layout_strategy": ..., "routing_trials": ...},
-         "jobs": [{"key": ..., "config": <config dict>,
+         "jobs": [{"key": ..., "backend": <backend dict>,
                    "fidelity": <options dict or None>}, ...]}
 
-    The benchmark is built and compiled exactly once; each job then only pays
-    for SIMD scheduling under its own configuration.  Returns the stored-form
-    result dicts in the payload's job order.
+    All jobs of one group share a device topology (the dispatcher groups by
+    :attr:`Backend.compile_key`), so the benchmark is built and compiled
+    exactly once; each job then only pays for SIMD scheduling under its own
+    backend.  Returns the stored-form result dicts in the payload's job
+    order.
     """
     options = CompileOptions(**payload["compile"])
     base = ExperimentSpec(
         benchmark=payload["benchmark"],
-        config=config_from_dict(payload["jobs"][0]["config"]),
+        backend=Backend.from_dict(payload["jobs"][0]["backend"]),
         num_qubits=payload["num_qubits"],
         seed=payload["seed"],
         compile_options=options,
@@ -242,7 +256,7 @@ def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]
     for index, job in enumerate(payload["jobs"]):
         spec = ExperimentSpec(
             benchmark=payload["benchmark"],
-            config=config_from_dict(job["config"]),
+            backend=Backend.from_dict(job["backend"]),
             num_qubits=payload["num_qubits"],
             seed=payload["seed"],
             compile_options=options,

@@ -1,24 +1,28 @@
 """Declarative experiment specifications for the sweep engine.
 
 An :class:`ExperimentSpec` names one *job*: a Table IV benchmark instance,
-the compiler options used to lower it, and one DigiQ configuration to
-schedule it on.  A :class:`SweepGrid` is the cartesian product
-``benchmarks x configs x seeds`` and expands into the deterministic, ordered
-list of jobs the dispatcher executes.
+the compiler options used to lower it, and one registered
+:class:`~repro.backends.Backend` to compile, schedule and (optionally)
+simulate it on.  A :class:`SweepGrid` is the cartesian product
+``benchmarks x backends x seeds`` and expands into the deterministic,
+ordered list of jobs the dispatcher executes.
 
-Configurations are referred to either as :class:`~repro.core.architecture.DigiQConfig`
-objects or as short spec strings (``"opt8"``, ``"min2"``, ``"opt16@g4"``)
-that the CLI accepts; :func:`parse_config` converts the latter, and
-:func:`config_to_dict` / :func:`config_from_dict` give the canonical JSON
-form used for hashing and on-disk results.
+Backends are referred to by registry name (``"digiq-opt8"``,
+``"cryo-cmos-grid"``), by legacy config spec (``"opt8"``, ``"min2"``,
+``"opt16@g4"`` — these resolve to the matching DigiQ grid backend), as
+:class:`~repro.core.architecture.DigiQConfig` objects, or directly as
+:class:`~repro.backends.Backend` instances.  :func:`parse_config` keeps the
+historical spec-string-to-config conversion for callers that only need the
+architectural parameters.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from ..backends import Backend, get_backend
 from ..circuits.benchmarks import BENCHMARK_NAMES
 from ..compiler.layout import LAYOUT_STRATEGIES
 from ..compiler.pipeline import DEFAULT_OPT_LEVEL, OPT_LEVELS, PIPELINE_NAMES
@@ -28,8 +32,12 @@ from ..simulation.trajectories import DEFAULT_BATCH_SIZE
 #: Default sweep axes used by ``python -m repro.runtime`` with no arguments.
 DEFAULT_BENCHMARKS: Tuple[str, ...] = ("qgan", "ising", "bv")
 DEFAULT_CONFIG_SPECS: Tuple[str, ...] = ("opt8", "opt16", "min2")
+DEFAULT_BACKEND_NAMES: Tuple[str, ...] = ("digiq-opt8", "digiq-opt16", "digiq-min2")
 
 _CONFIG_SPEC_RE = re.compile(r"^(opt|min)(\d+)(?:@g(\d+))?$")
+
+#: Anything :func:`resolve_backend` accepts.
+BackendLike = Union[str, Backend, DigiQConfig]
 
 
 def parse_config(spec: Union[str, DigiQConfig]) -> DigiQConfig:
@@ -37,7 +45,8 @@ def parse_config(spec: Union[str, DigiQConfig]) -> DigiQConfig:
 
     The grammar is ``<variant><BS>[@g<G>]``: ``"opt8"`` is DigiQ_opt with
     BS=8, ``"min2"`` DigiQ_min with BS=2, ``"opt16@g4"`` DigiQ_opt with
-    BS=16 and 4 SIMD groups.  A :class:`DigiQConfig` passes through.
+    BS=16 and 4 SIMD groups.  Both counts must be at least 1 — ``opt0`` and
+    ``@g0`` are rejected.  A :class:`DigiQConfig` passes through.
     """
     if isinstance(spec, DigiQConfig):
         return spec
@@ -47,24 +56,35 @@ def parse_config(spec: Union[str, DigiQConfig]) -> DigiQConfig:
             f"bad config spec '{spec}'; expected e.g. 'opt8', 'min2', 'opt16@g4'"
         )
     variant, bitstreams, groups = match.group(1), int(match.group(2)), match.group(3)
+    if bitstreams < 1:
+        raise ValueError(
+            f"bad config spec '{spec}': the bitstream count must be >= 1 "
+            f"(got {bitstreams})"
+        )
     kwargs = {"bitstreams": bitstreams}
     if groups is not None:
+        if int(groups) < 1:
+            raise ValueError(
+                f"bad config spec '{spec}': the SIMD group count must be >= 1 "
+                f"(got {int(groups)})"
+            )
         kwargs["groups"] = int(groups)
     return DigiQConfig.opt(**kwargs) if variant == "opt" else DigiQConfig.minimal(**kwargs)
 
 
+def resolve_backend(spec: BackendLike) -> Backend:
+    """Resolve a backend name, legacy config spec, config, or Backend."""
+    return get_backend(spec)
+
+
 def config_to_dict(config: DigiQConfig) -> Dict[str, object]:
     """Canonical JSON-ready dict form of a configuration (stable key order)."""
-    data = asdict(config)
-    data["parking_frequencies"] = list(data["parking_frequencies"])
-    return {key: data[key] for key in sorted(data)}
+    return config.as_dict()
 
 
 def config_from_dict(data: Dict[str, object]) -> DigiQConfig:
     """Inverse of :func:`config_to_dict`."""
-    payload = dict(data)
-    payload["parking_frequencies"] = tuple(payload["parking_frequencies"])
-    return DigiQConfig(**payload)
+    return DigiQConfig.from_dict(data)
 
 
 @dataclass(frozen=True)
@@ -109,8 +129,9 @@ class FidelityOptions:
     """Monte-Carlo end-to-end fidelity estimation knobs (part of job identity).
 
     When attached to a job, the compiled physical circuit is run through
-    :func:`repro.simulation.run_trajectories` under a
-    :class:`~repro.simulation.NoiseModel` sampled for the job's configuration,
+    :func:`repro.simulation.run_trajectories` under the backend's noise model
+    (frozen calibrated rates for calibrated backends, a
+    :class:`~repro.noise.variability.VariabilityModel` sample otherwise),
     and the result row gains ``success_probability`` / ``state_fidelity`` /
     ``trajectories`` columns.
 
@@ -149,7 +170,7 @@ class FidelityOptions:
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One schedulable job: benchmark instance x compile options x config.
+    """One schedulable job: benchmark instance x compile options x backend.
 
     ``seed`` seeds both the benchmark generator and the stochastic router, so
     one integer fully pins the job's randomness.  ``fidelity`` optionally
@@ -158,7 +179,7 @@ class ExperimentSpec:
     """
 
     benchmark: str
-    config: DigiQConfig
+    backend: BackendLike = "digiq-opt8"
     num_qubits: int = 16
     seed: int = 0
     compile_options: CompileOptions = field(default_factory=CompileOptions)
@@ -169,18 +190,32 @@ class ExperimentSpec:
         if name not in BENCHMARK_NAMES:
             raise ValueError(f"unknown benchmark '{self.benchmark}'; known: {BENCHMARK_NAMES}")
         object.__setattr__(self, "benchmark", name)
+        object.__setattr__(self, "backend", resolve_backend(self.backend))
         if self.num_qubits < 2:
             raise ValueError("num_qubits must be >= 2")
+
+    @property
+    def config(self) -> DigiQConfig:
+        """The backend's DigiQ configuration (scheduling parameters)."""
+        return self.backend.config
 
     # -- grouping -------------------------------------------------------------------
 
     @property
     def compile_group(self) -> Tuple[object, ...]:
-        """Jobs sharing this tuple share one compilation (config-independent)."""
+        """Jobs sharing this tuple share one compilation.
+
+        Covers everything that shapes the physical circuit: the benchmark
+        instance, the compile options, and the backend's topology/basis
+        (:attr:`Backend.compile_key`) — all DigiQ grid configs of one
+        benchmark still compile once, while a line or heavy-hex backend
+        compiles separately.
+        """
         return (
             self.benchmark,
             self.num_qubits,
             self.seed,
+            self.backend.compile_key,
         ) + tuple(sorted(self.compile_options.as_dict().items()))
 
     def describe(self) -> Dict[str, object]:
@@ -190,7 +225,7 @@ class ExperimentSpec:
             "num_qubits": self.num_qubits,
             "seed": self.seed,
             "compile": self.compile_options.as_dict(),
-            "config": config_to_dict(self.config),
+            "backend": self.backend.to_dict(),
         }
         if self.fidelity is not None:
             description["fidelity"] = self.fidelity.as_dict()
@@ -201,24 +236,25 @@ class ExperimentSpec:
 class SweepGrid:
     """The cartesian product of sweep axes, expanded in deterministic order.
 
-    Expansion order is benchmarks (outer) x seeds x configs (inner), which
-    keeps all configs of one compiled benchmark adjacent — the dispatcher
-    compiles each (benchmark, seed) once and reuses it across configs.
+    Expansion order is benchmarks (outer) x seeds x backends (inner), which
+    keeps all backends of one compiled benchmark adjacent — the dispatcher
+    compiles each (benchmark, seed, topology) once and reuses it across the
+    backends sharing that topology.
     """
 
     benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS
-    configs: Tuple[DigiQConfig, ...] = field(
-        default_factory=lambda: tuple(parse_config(s) for s in DEFAULT_CONFIG_SPECS)
-    )
+    backends: Tuple[BackendLike, ...] = DEFAULT_BACKEND_NAMES
     num_qubits: int = 16
     seeds: Tuple[int, ...] = (0,)
     compile_options: CompileOptions = field(default_factory=CompileOptions)
     fidelity: Optional[FidelityOptions] = None
 
     def __post_init__(self) -> None:
-        if not self.configs:
-            raise ValueError("a sweep needs at least one config")
-        object.__setattr__(self, "configs", tuple(parse_config(c) for c in self.configs))
+        if not self.backends:
+            raise ValueError("a sweep needs at least one backend")
+        object.__setattr__(
+            self, "backends", tuple(resolve_backend(b) for b in self.backends)
+        )
         benchmarks = tuple(b.lower() for b in self.benchmarks)
         for name in benchmarks:
             if name not in BENCHMARK_NAMES:
@@ -232,8 +268,13 @@ class SweepGrid:
         if self.num_qubits < 2:
             raise ValueError("num_qubits must be >= 2")
 
+    @property
+    def configs(self) -> Tuple[DigiQConfig, ...]:
+        """The backends' DigiQ configurations, in backend order."""
+        return tuple(backend.config for backend in self.backends)
+
     def __len__(self) -> int:
-        return len(self.benchmarks) * len(self.seeds) * len(self.configs)
+        return len(self.benchmarks) * len(self.seeds) * len(self.backends)
 
     def expand(self) -> List[ExperimentSpec]:
         """All jobs of the grid, in deterministic order."""
@@ -242,10 +283,10 @@ class SweepGrid:
     def _iter_specs(self) -> Iterator[ExperimentSpec]:
         for benchmark in self.benchmarks:
             for seed in self.seeds:
-                for config in self.configs:
+                for backend in self.backends:
                     yield ExperimentSpec(
                         benchmark=benchmark,
-                        config=config,
+                        backend=backend,
                         num_qubits=self.num_qubits,
                         seed=seed,
                         compile_options=self.compile_options,

@@ -41,6 +41,64 @@ def _coupler_key(pair: Sequence[int]) -> Tuple[int, int]:
     return (a, b) if a <= b else (b, a)
 
 
+def sampled_single_qubit_rates(
+    num_qubits: int,
+    config: DigiQConfig,
+    variability: VariabilityModel,
+    base_single_error: float,
+) -> Dict[int, float]:
+    """Per-qubit error rates sampled from the fabrication-variability model.
+
+    Each qubit's parking frequency comes from ``config``'s static group
+    assignment; its sampled drift (relative to the one-sigma fluctuation the
+    EJ spread implies) scales the base single-qubit error, so badly drifted
+    qubits carry proportionally worse gates — the long tail of Fig. 10(a).
+    Consumes the variability model's RNG; callers that also sample coupler
+    rates must call this first to keep the draw order stable.
+    """
+    groups = [config.group_of_qubit(q, num_qubits) for q in range(num_qubits)]
+    nominal = [config.group_frequency(g) for g in groups]
+    samples = variability.sample_qubits(nominal, groups)
+    scales = variability.sample_error_scales(num_qubits)
+
+    single_rates: Dict[int, float] = {}
+    for sample, scale in zip(samples, scales):
+        sigma_f = expected_frequency_fluctuation(
+            sample.nominal_frequency,
+            ej_sigma=max(variability.ej_sigma, 1e-12),
+            anharmonicity=variability.anharmonicity,
+        )
+        relative_drift = abs(sample.drift) / max(sigma_f, 1e-12)
+        # Calibration compensates the drift to first order; the residual
+        # error grows quadratically with how far out in the distribution
+        # the qubit landed.
+        rate = base_single_error * float(scale) * (1.0 + relative_drift**2)
+        single_rates[sample.index] = min(rate, 1.0)
+    return single_rates
+
+
+def sampled_coupler_rates(
+    couplers: Sequence[Tuple[int, int]],
+    variability: VariabilityModel,
+    base_cz_error: float,
+) -> Dict[Tuple[int, int], float]:
+    """Per-coupler CZ error rates from sampled current-generator amplitudes.
+
+    Each coupler's rate scales with its current generator's sampled amplitude
+    error, the Fig. 10(b) mechanism.
+    """
+    coupler_rates: Dict[Tuple[int, int], float] = {}
+    for pair in couplers:
+        key = _coupler_key(pair)
+        if key in coupler_rates:
+            continue
+        amplitude_scale = variability.sample_current_scale()
+        relative_amp = abs(amplitude_scale - 1.0) / max(variability.current_sigma, 1e-12)
+        rate = base_cz_error * (1.0 + relative_amp**2)
+        coupler_rates[key] = min(rate, 1.0)
+    return coupler_rates
+
+
 @dataclass(frozen=True)
 class NoiseModel:
     """Per-qubit / per-coupler stochastic error rates for one device.
@@ -148,34 +206,8 @@ class NoiseModel:
             base_single_error if base_single_error is not None else config.error_target
         )
 
-        groups = [config.group_of_qubit(q, num_qubits) for q in range(num_qubits)]
-        nominal = [config.group_frequency(g) for g in groups]
-        samples = variability.sample_qubits(nominal, groups)
-        scales = variability.sample_error_scales(num_qubits)
-
-        single_rates: Dict[int, float] = {}
-        for sample, scale in zip(samples, scales):
-            sigma_f = expected_frequency_fluctuation(
-                sample.nominal_frequency,
-                ej_sigma=max(variability.ej_sigma, 1e-12),
-                anharmonicity=variability.anharmonicity,
-            )
-            relative_drift = abs(sample.drift) / max(sigma_f, 1e-12)
-            # Calibration compensates the drift to first order; the residual
-            # error grows quadratically with how far out in the distribution
-            # the qubit landed.
-            rate = base_single * float(scale) * (1.0 + relative_drift**2)
-            single_rates[sample.index] = min(rate, 1.0)
-
-        coupler_rates: Dict[Tuple[int, int], float] = {}
-        for pair in couplers:
-            key = _coupler_key(pair)
-            if key in coupler_rates:
-                continue
-            amplitude_scale = variability.sample_current_scale()
-            relative_amp = abs(amplitude_scale - 1.0) / max(variability.current_sigma, 1e-12)
-            rate = base_cz_error * (1.0 + relative_amp**2)
-            coupler_rates[key] = min(rate, 1.0)
+        single_rates = sampled_single_qubit_rates(num_qubits, config, variability, base_single)
+        coupler_rates = sampled_coupler_rates(couplers, variability, base_cz_error)
 
         return NoiseModel(
             num_qubits=num_qubits,
@@ -183,6 +215,26 @@ class NoiseModel:
             coupler_rates=coupler_rates,
             default_single_rate=min(base_single, 1.0),
             default_coupler_rate=min(base_cz_error, 1.0),
+        )
+
+    @staticmethod
+    def from_target(target) -> "NoiseModel":
+        """Build a model from a backend :class:`~repro.backends.target.Target`.
+
+        The target's calibrated per-qubit and per-coupler error rates (and its
+        default rates for qubits/couplers without an explicit entry) transfer
+        directly, so noisy sweeps against a registered backend automatically
+        simulate the device the backend describes.
+        """
+        return NoiseModel(
+            num_qubits=target.num_qubits,
+            single_qubit_rates=dict(target.single_qubit_error_rates),
+            coupler_rates={
+                _coupler_key(pair): rate
+                for pair, rate in target.coupler_error_rates.items()
+            },
+            default_single_rate=target.default_single_qubit_error,
+            default_coupler_rate=target.default_cz_error,
         )
 
     @staticmethod

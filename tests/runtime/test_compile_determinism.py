@@ -13,17 +13,17 @@ import tempfile
 
 from repro.runtime.dispatch import run_sweep
 from repro.runtime.jobs import circuit_fingerprint, compile_spec
-from repro.runtime.spec import CompileOptions, ExperimentSpec, SweepGrid, parse_config
+from repro.runtime.spec import CompileOptions, ExperimentSpec, SweepGrid
 from repro.runtime.store import ResultStore, canonical_json
 
 _FINGERPRINT_SCRIPT = """\
 import sys
 from repro.runtime.jobs import circuit_fingerprint, compile_spec
-from repro.runtime.spec import CompileOptions, ExperimentSpec, parse_config
+from repro.runtime.spec import CompileOptions, ExperimentSpec
 
 spec = ExperimentSpec(
     benchmark="qgan",
-    config=parse_config("opt8"),
+    backend="opt8",
     num_qubits=9,
     seed=3,
     compile_options=CompileOptions(opt_level=int(sys.argv[1]), routing_seed=11),
@@ -35,7 +35,7 @@ print(circuit_fingerprint(compile_spec(spec).physical_circuit))
 def _spec(opt_level: int) -> ExperimentSpec:
     return ExperimentSpec(
         benchmark="qgan",
-        config=parse_config("opt8"),
+        backend="opt8",
         num_qubits=9,
         seed=3,
         compile_options=CompileOptions(opt_level=opt_level, routing_seed=11),
@@ -67,11 +67,11 @@ class TestCrossProcessDeterminism:
         circuit always routes identically."""
         options = CompileOptions(routing_seed=5)
         base = ExperimentSpec(
-            benchmark="bv", config=parse_config("opt8"), num_qubits=9, seed=0,
+            benchmark="bv", backend="opt8", num_qubits=9, seed=0,
             compile_options=options,
         )
         again = ExperimentSpec(
-            benchmark="bv", config=parse_config("opt8"), num_qubits=9, seed=0,
+            benchmark="bv", backend="opt8", num_qubits=9, seed=0,
             compile_options=options,
         )
         assert circuit_fingerprint(
@@ -85,7 +85,7 @@ class TestO2SweepDeterminism:
         serial vs parallel under the schema-v3 cache keys."""
         grid = SweepGrid(
             benchmarks=("bv", "ising"),
-            configs=(parse_config("opt8"), parse_config("min2")),
+            backends=("opt8", "min2"),
             num_qubits=8,
             seeds=(0, 1),
             compile_options=CompileOptions(opt_level=2),
@@ -100,7 +100,7 @@ class TestO2SweepDeterminism:
     def test_pass_traces_present_and_shared_per_group(self):
         grid = SweepGrid(
             benchmarks=("bv",),
-            configs=(parse_config("opt8"), parse_config("min2")),
+            backends=("opt8", "min2"),
             num_qubits=8,
             seeds=(0,),
             compile_options=CompileOptions(opt_level=2),

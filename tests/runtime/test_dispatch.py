@@ -3,14 +3,14 @@
 import pytest
 
 from repro.runtime.dispatch import run_sweep
-from repro.runtime.spec import SweepGrid, parse_config
+from repro.runtime.spec import SweepGrid
 from repro.runtime.store import ResultStore, canonical_json
 
 
 def small_grid(**overrides):
     params = dict(
         benchmarks=("bv", "ising"),
-        configs=(parse_config("opt8"), parse_config("min2")),
+        backends=("opt8", "min2"),
         num_qubits=8,
         seeds=(0,),
     )
@@ -48,7 +48,7 @@ class TestCaching:
         store = ResultStore(tmp_path)
         run_sweep(small_grid(), store=store)
         grown = run_sweep(
-            small_grid(configs=(parse_config("opt8"), parse_config("min2"), parse_config("opt16"))),
+            small_grid(backends=("opt8", "min2", "opt16")),
             store=store,
         )
         assert grown.num_jobs == 6
@@ -56,7 +56,7 @@ class TestCaching:
         assert grown.num_computed == 2
 
     def test_duplicate_axis_entries_share_one_computation(self, tmp_path):
-        grid = small_grid(configs=(parse_config("opt8"), parse_config("opt8")))
+        grid = small_grid(backends=("opt8", "opt8"))
         report = run_sweep(grid, store=ResultStore(tmp_path))
         assert report.num_jobs == 4
         assert report.num_computed == 2
@@ -118,7 +118,7 @@ class TestReportShape:
         summary = report.summary()
         assert summary["jobs"] == 4
         assert summary["computed"] == 4
-        assert summary["benchmarks"] == 2 and summary["configs"] == 2
+        assert summary["benchmarks"] == 2 and summary["backends"] == 2
 
     def test_rows_carry_fig9_and_compile_columns(self, tmp_path):
         report = run_sweep(small_grid(), store=ResultStore(tmp_path))

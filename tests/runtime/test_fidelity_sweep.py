@@ -9,7 +9,7 @@ from repro.runtime import (
     job_key,
     run_sweep,
 )
-from repro.runtime.spec import ExperimentSpec, parse_config
+from repro.runtime.spec import ExperimentSpec
 
 FIDELITY = FidelityOptions(trajectories=20, batch_size=8, noise_seed=1, max_qubits=12)
 
@@ -17,7 +17,7 @@ FIDELITY = FidelityOptions(trajectories=20, batch_size=8, noise_seed=1, max_qubi
 def small_grid(**kwargs):
     defaults = dict(
         benchmarks=("bv",),
-        configs=(parse_config("opt8"),),
+        backends=("opt8",),
         num_qubits=8,
         seeds=(0, 1),
         fidelity=FIDELITY,
@@ -40,13 +40,13 @@ class TestFidelityOptions:
             FidelityOptions(max_qubits=30)
 
     def test_options_are_part_of_the_job_key(self):
-        base = ExperimentSpec(benchmark="bv", config=parse_config("opt8"), num_qubits=8)
+        base = ExperimentSpec(benchmark="bv", backend="opt8", num_qubits=8)
         with_fidelity = ExperimentSpec(
-            benchmark="bv", config=parse_config("opt8"), num_qubits=8, fidelity=FIDELITY
+            benchmark="bv", backend="opt8", num_qubits=8, fidelity=FIDELITY
         )
         other_fidelity = ExperimentSpec(
             benchmark="bv",
-            config=parse_config("opt8"),
+            backend="opt8",
             num_qubits=8,
             fidelity=FidelityOptions(trajectories=21),
         )
@@ -91,8 +91,8 @@ class TestFidelitySweep:
 
     def test_spec_describe_includes_fidelity(self):
         spec = ExperimentSpec(
-            benchmark="bv", config=parse_config("opt8"), num_qubits=8, fidelity=FIDELITY
+            benchmark="bv", backend="opt8", num_qubits=8, fidelity=FIDELITY
         )
         assert spec.describe()["fidelity"] == FIDELITY.as_dict()
-        plain = ExperimentSpec(benchmark="bv", config=parse_config("opt8"), num_qubits=8)
+        plain = ExperimentSpec(benchmark="bv", backend="opt8", num_qubits=8)
         assert "fidelity" not in plain.describe()

@@ -33,6 +33,16 @@ class TestParseConfig:
         with pytest.raises(ValueError):
             parse_config(bad)
 
+    @pytest.mark.parametrize("bad", ["opt0", "min0"])
+    def test_zero_bitstreams_rejected_clearly(self, bad):
+        with pytest.raises(ValueError, match="bitstream count must be >= 1"):
+            parse_config(bad)
+
+    @pytest.mark.parametrize("bad", ["opt8@g0", "min2@g0"])
+    def test_zero_groups_rejected_clearly(self, bad):
+        with pytest.raises(ValueError, match="group count must be >= 1"):
+            parse_config(bad)
+
 
 class TestConfigDictRoundtrip:
     def test_roundtrip_preserves_equality(self):
@@ -48,7 +58,7 @@ class TestSweepGrid:
     def test_expansion_size_and_order(self):
         grid = SweepGrid(
             benchmarks=("qgan", "bv"),
-            configs=(parse_config("opt8"), parse_config("min2")),
+            backends=("opt8", "min2"),
             num_qubits=8,
             seeds=(0, 1),
         )
@@ -63,9 +73,9 @@ class TestSweepGrid:
         with pytest.raises(ValueError):
             SweepGrid(benchmarks=("nope",), num_qubits=8).expand()
 
-    def test_explicitly_empty_configs_rejected(self):
+    def test_explicitly_empty_backends_rejected(self):
         with pytest.raises(ValueError):
-            SweepGrid(benchmarks=("bv",), configs=(), num_qubits=8)
+            SweepGrid(benchmarks=("bv",), backends=(), num_qubits=8)
 
     def test_bad_compile_options_rejected(self):
         with pytest.raises(ValueError):
@@ -99,7 +109,7 @@ class TestJobKeys:
     def make_spec(self, **overrides):
         base = dict(
             benchmark="bv",
-            config=parse_config("opt8"),
+            backend="opt8",
             num_qubits=8,
             seed=0,
             compile_options=CompileOptions(),
@@ -115,7 +125,7 @@ class TestJobKeys:
         assert job_key(self.make_spec(seed=1)) != base
         assert job_key(self.make_spec(benchmark="qgan")) != base
         assert job_key(self.make_spec(num_qubits=9)) != base
-        assert job_key(self.make_spec(config=parse_config("opt16"))) != base
+        assert job_key(self.make_spec(backend="opt16")) != base
         assert (
             job_key(self.make_spec(compile_options=CompileOptions(routing_trials=3))) != base
         )
