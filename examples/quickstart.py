@@ -1,0 +1,127 @@
+"""Executable README quickstart: the provider-style execution API end to end.
+
+CI runs this script on the Python matrix so the public API surface shown in
+the README cannot silently rot.  Every assertion mirrors a claim the README
+makes: lazy job handles, counts, sampler/sweep cache-key sharing, session
+compilation reuse, and estimator accuracy against the exact statevector.
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.analysis.report import format_table, summarize_primitive_results
+from repro.backends import get_backend
+from repro.circuits import QuantumCircuit, simulate
+from repro.primitives import Estimator, JobStatus, PauliObservable, Sampler, Session
+from repro.runtime import FidelityOptions, ResultStore, SweepGrid, run_sweep
+
+
+def quickstart() -> None:
+    """The five-line README example: get_backend -> run -> result."""
+    backend = get_backend("digiq-opt8")
+    job = backend.run("bv", num_qubits=12, shots=1024)
+    assert job.status() is JobStatus.QUEUED  # lazy: nothing ran yet
+    counts = job.result()[0].counts
+    assert job.status() is JobStatus.DONE
+    assert sum(counts.values()) == 1024
+    print("quickstart counts:", counts)
+
+
+def user_circuit_run() -> None:
+    """Submitting a hand-built circuit and reading logical counts."""
+    ghz = QuantumCircuit(3, name="ghz")
+    ghz.h(0)
+    ghz.cx(0, 1)
+    ghz.cx(1, 2)
+    result = get_backend("digiq-opt8").run(ghz, shots=2000).result()
+    counts = result[0].counts
+    assert set(counts) == {"000", "111"}, counts
+    print("ghz counts:", counts)
+
+
+def sampler_shares_sweep_cache() -> None:
+    """Sampler jobs and --fidelity sweep jobs share content-addressed keys."""
+    fidelity = FidelityOptions(trajectories=25)
+    with tempfile.TemporaryDirectory() as scratch:
+        store = ResultStore(scratch)
+        grid = SweepGrid(
+            benchmarks=("ising",),
+            backends=("digiq-opt8",),
+            num_qubits=12,
+            seeds=(0,),
+            fidelity=fidelity,
+        )
+        report = run_sweep(grid, store=store)
+        with Session("digiq-opt8", store=store) as session:
+            result = (
+                Sampler(session)
+                .run("ising", num_qubits=12, seed=0, fidelity_options=fidelity)
+                .result()
+            )
+        assert result.metadata["job_keys"] == report.keys
+        assert result.metadata["cached"] == 1  # served from the sweep's store
+        assert result[0].success_probability == report.rows[0]["success_probability"]
+        print(
+            "sampler reuses sweep cache: success_probability =",
+            result[0].success_probability,
+        )
+
+
+def session_reuses_compilation() -> None:
+    """One compilation serves sampling, resampling and estimation."""
+    bell = QuantumCircuit(2, name="bell")
+    bell.h(0)
+    bell.cx(0, 1)
+    with Session("digiq-opt8") as session:
+        sampler = Sampler(session)
+        sampler.run(bell, shots=100).result()
+        sampler.run(bell, shots=5000).result()  # re-samples, no recompile
+        estimator = Estimator(session)
+        value = estimator.run(
+            bell, PauliObservable.from_terms({"ZZ": 0.5, "XX": 0.5})
+        ).result()[0].value
+    assert session.compile_misses == 1, session.compile_misses
+    expected = 0.5 + 0.5  # <ZZ> = <XX> = 1 on a Bell pair
+    assert abs(value - expected) < 1e-9
+    print("session compiled once; bell <0.5*ZZ + 0.5*XX> =", value)
+
+
+def estimator_matches_statevector() -> None:
+    """Exact estimates equal the ideal statevector expectation to 1e-9."""
+    rng = np.random.default_rng(7)
+    circuit = QuantumCircuit(4, name="random")
+    for _ in range(12):
+        circuit.ry(float(rng.uniform(0, 2 * np.pi)), int(rng.integers(0, 4)))
+        circuit.cx(int(rng.integers(0, 3)), 3)
+    estimator = Estimator("digiq-opt8")
+    result = estimator.run(circuit, ["ZIII", "ZZZZ"]).result()
+    state = simulate(circuit)
+    z0 = float(PauliObservable.from_label("ZIII").expectation(state))
+    assert abs(result[0].value - z0) < 1e-9
+    noisy = estimator.run(
+        circuit,
+        "ZZZZ",
+        method="trajectories",
+        fidelity_options=FidelityOptions(trajectories=50),
+    ).result()[0]
+    print(
+        f"estimator: exact <ZIII> = {result[0].value:.6f}, "
+        f"noisy <ZZZZ> = {noisy.value:.4f} +/- {noisy.std_error:.4f}"
+    )
+    print()
+    print(
+        format_table(
+            summarize_primitive_results([result]), title="Primitive executions"
+        )
+    )
+
+
+if __name__ == "__main__":
+    quickstart()
+    user_circuit_run()
+    sampler_shares_sweep_cache()
+    session_reuses_compilation()
+    estimator_matches_statevector()
+    print()
+    print("README quickstart examples: OK")

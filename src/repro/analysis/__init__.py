@@ -18,6 +18,7 @@ from .report import (
     summarize_backends,
     summarize_fidelity,
     summarize_passes,
+    summarize_primitive_results,
 )
 from .tables import (
     BENCHMARK_DESCRIPTIONS,
@@ -48,4 +49,5 @@ __all__ = [
     "summarize_backends",
     "summarize_fidelity",
     "summarize_passes",
+    "summarize_primitive_results",
 ]

@@ -153,6 +153,34 @@ def summarize_passes(traces: Sequence[Mapping[str, object]]) -> List[Dict[str, o
     return rows
 
 
+def summarize_primitive_results(results: Iterable[object]) -> List[Dict[str, object]]:
+    """Flatten primitive results into renderable report rows.
+
+    Consumes :class:`~repro.primitives.PrimitiveResult` objects (from
+    ``Backend.run``, ``Sampler.run`` or ``Estimator.run``) — or bare entry
+    objects — and emits one row per executed circuit / estimated observable
+    by calling each entry's ``as_row()``.  Mixing result kinds is fine; the
+    ``kind`` column says what each row is, and columns missing from a kind
+    render as ``None``.
+    """
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        entries = getattr(result, "entries", None)
+        if entries is None:
+            entries = (result,)
+        for entry in entries:
+            rows.append(entry.as_row())
+    if rows:
+        # One unioned column order so mixed primitives render as one table.
+        columns: List[str] = []
+        for row in rows:
+            for column in row:
+                if column not in columns:
+                    columns.append(column)
+        rows = [{column: row.get(column) for column in columns} for row in rows]
+    return rows
+
+
 def summarize_backends(
     rows: Sequence[Mapping[str, object]],
     backends: Sequence[object] = (),

@@ -24,6 +24,7 @@ from ..compiler.coupling import (
     LineCouplingMap,
     smallest_grid_for,
     smallest_heavy_hex_for,
+    smallest_torus_for,
 )
 from ..core.architecture import DigiQConfig
 from ..hardware.budget import FridgeBudget, ScalabilityResult, max_qubits_within_budget
@@ -38,7 +39,7 @@ from ..simulation.channels import (
 from .target import DEFAULT_BASIS_GATES, Target
 
 #: Topology families a backend can instantiate, mapped to their sizing rule.
-TOPOLOGIES = ("grid", "line", "heavy_hex")
+TOPOLOGIES = ("grid", "line", "heavy_hex", "torus")
 
 
 def _coupling_for(topology: str, num_qubits: int) -> CouplingMap:
@@ -48,6 +49,8 @@ def _coupling_for(topology: str, num_qubits: int) -> CouplingMap:
         return LineCouplingMap(num_qubits)
     if topology == "heavy_hex":
         return smallest_heavy_hex_for(num_qubits)
+    if topology == "torus":
+        return smallest_torus_for(num_qubits)
     raise ValueError(f"unknown topology '{topology}'; known: {TOPOLOGIES}")
 
 
@@ -138,6 +141,55 @@ class Backend:
         configs still share a single compilation per benchmark instance.
         """
         return (self.topology, DEFAULT_BASIS_GATES)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(
+        self,
+        circuits,
+        shots: Optional[int] = None,
+        num_qubits: int = 16,
+        seed: int = 0,
+        compile_options=None,
+        fidelity_options=None,
+        store=None,
+        lazy: bool = True,
+    ):
+        """Submit circuits to this backend; returns a job handle.
+
+        The provider-style front door: accepts one circuit or a sequence
+        (each a :class:`~repro.circuits.circuit.QuantumCircuit` or a Table IV
+        benchmark name, built at ``num_qubits`` with ``seed``) and returns a
+        :class:`~repro.primitives.JobHandle` resolving to a
+        :class:`~repro.primitives.RunResult` — one execution record per
+        circuit, with measurement ``counts`` when ``shots`` is given and
+        Monte-Carlo fidelity columns when ``fidelity_options`` is.
+
+        Each call runs in a fresh one-shot
+        :class:`~repro.primitives.Session`; the handle is lazy by default
+        (work runs on the first ``result()`` call and no threads are
+        created).  Pass ``lazy=False`` for background execution, a
+        :class:`~repro.runtime.store.ResultStore` via ``store`` to share
+        the sweep engine's content-addressed cache, or hold a ``Session``
+        yourself to reuse compilations across many submissions.
+        """
+        from ..primitives.session import Session
+
+        session = Session(self, store=store, max_workers=1)
+        handle = session.run(
+            circuits,
+            shots=shots,
+            num_qubits=num_qubits,
+            seed=seed,
+            compile_options=compile_options,
+            fidelity_options=fidelity_options,
+            lazy=lazy,
+        )
+        if not lazy:
+            # One-shot session: let the submitted work finish in the
+            # background, then release the pool thread.
+            session.close(wait=False)
+        return handle
 
     # -- noise ----------------------------------------------------------------------
 

@@ -13,7 +13,7 @@ device.  Three kinds of names resolve:
   keeping old command lines and stored sweep definitions working.
 
 The non-paper devices (``digiq-line``, ``digiq-heavy-hex``,
-``cryo-cmos-grid``) carry a frozen calibration seed: their targets embed
+``digiq-torus``, ``cryo-cmos-grid``) carry a frozen calibration seed: their targets embed
 per-qubit/per-coupler error rates, and noisy sweeps simulate those rates via
 :meth:`NoiseModel.from_target` instead of re-sampling a device per sweep.
 """
@@ -106,6 +106,19 @@ def _heavy_hex_backend() -> Backend:
     )
 
 
+def _torus_backend() -> Backend:
+    config = DigiQConfig.opt(bitstreams=8)
+    return Backend(
+        name="digiq-torus",
+        topology="torus",
+        config=config,
+        controller=ControllerDesign(variant="digiq_opt", groups=2, bitstreams=8),
+        description="DigiQ_opt(BS=8) on a periodic grid (wrap-around couplers, no edge effects)",
+        default_qubits=64,
+        calibration_seed=19,
+    )
+
+
 def _cryo_cmos_backend() -> Backend:
     # Near-MIMD microwave control: many groups and a wide stored gate set
     # approximate per-qubit arbitrary rotations in the SIMD execution model.
@@ -129,6 +142,7 @@ _BUILTIN_FACTORIES: Dict[str, Callable[[], Backend]] = {
     "digiq-min4": lambda: _digiq_backend("min", 4),
     "digiq-line": _line_backend,
     "digiq-heavy-hex": _heavy_hex_backend,
+    "digiq-torus": _torus_backend,
     "cryo-cmos-grid": _cryo_cmos_backend,
 }
 

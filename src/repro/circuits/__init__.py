@@ -1,7 +1,7 @@
 """Quantum circuit IR, gate library, simulator, and NISQ benchmark generators."""
 
 from .builder import CircuitBuilder, encode_integer, register_value
-from .circuit import QuantumCircuit
+from .circuit import QuantumCircuit, circuit_fingerprint
 from .gate import Gate
 from .library import (
     DIGIQ_BASIS,
@@ -34,6 +34,7 @@ __all__ = [
     "apply_gate",
     "apply_matrix",
     "basis_state_index",
+    "circuit_fingerprint",
     "circuit_unitary",
     "dominant_bitstring",
     "encode_integer",

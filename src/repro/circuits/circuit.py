@@ -8,11 +8,30 @@ used by the compiler and the DigiQ scheduler.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .gate import Gate
 from .library import inverse_gate, validate_gate
+
+
+def circuit_fingerprint(circuit: "QuantumCircuit") -> str:
+    """Stable SHA-256 fingerprint of a circuit's exact gate stream.
+
+    Parameters are formatted to 13 significant figures (with ``-0.0``
+    normalised to ``0.0``) so the fingerprint is stable against float
+    formatting artefacts while still distinguishing any two physically
+    different circuits.  The circuit's *name* is deliberately excluded:
+    fingerprints are content addresses, and two identical circuits built
+    under different labels must collide.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"{circuit.num_qubits}\n".encode())
+    for gate in circuit:
+        params = ",".join(f"{p + 0.0:.12e}" for p in gate.params)
+        hasher.update(f"{gate.name}:{gate.qubits}:{params}\n".encode())
+    return hasher.hexdigest()
 
 
 class QuantumCircuit:
@@ -163,6 +182,32 @@ class QuantumCircuit:
         for gate in self._gates:
             other.append(gate.remapped(mapping))
         return other
+
+    # -- serialization ------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready form: name, width, and the exact gate stream.
+
+        The gate list preserves application order, so
+        :meth:`from_dict` round-trips any circuit bit-for-bit — this is what
+        lets user-submitted circuits cross the runtime's worker-process
+        boundary and participate in content-addressed job keys.
+        """
+        return {
+            "name": self.name,
+            "num_qubits": self.num_qubits,
+            "gates": [
+                [gate.name, list(gate.qubits), list(gate.params)] for gate in self._gates
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "QuantumCircuit":
+        """Inverse of :meth:`as_dict`."""
+        circuit = QuantumCircuit(int(data["num_qubits"]), name=data.get("name"))
+        for name, qubits, params in data["gates"]:
+            circuit.add(name, tuple(qubits), tuple(params))
+        return circuit
 
     # -- analysis -----------------------------------------------------------------
 

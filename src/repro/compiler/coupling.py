@@ -6,9 +6,11 @@ grid-specialised queries.  The backend layer (:mod:`repro.backends`) also
 ships non-paper topologies, so the grid is one subclass of a generic
 :class:`CouplingMap`: any connected qubit graph with shortest-path,
 candidate-path and random-path queries that the routers and schedulers can
-consume.  :class:`LineCouplingMap` (a 1-D chain) and
+consume.  :class:`LineCouplingMap` (a 1-D chain),
 :class:`HeavyHexCouplingMap` (a grid with sparse vertical rungs, in the
-style of IBM's heavy-hex lattices) are the built-in alternatives, and
+style of IBM's heavy-hex lattices) and :class:`TorusCouplingMap` (a
+periodic grid whose wrap-around couplers remove edge effects) are the
+built-in alternatives, and
 :func:`coupling_to_dict` / :func:`coupling_from_dict` give every map a
 canonical JSON form for backend serialization and cache keys.
 """
@@ -461,6 +463,147 @@ class HeavyHexCouplingMap(CouplingMap):
         return result
 
 
+@dataclass(frozen=True)
+class TorusCouplingMap(CouplingMap):
+    """A periodic (wrap-around) rectangular grid: a torus of qubits.
+
+    Every row and column closes into a ring, so the device has no edges —
+    each qubit has exactly four neighbours (degree shrinks only when a
+    dimension is 1 or 2, where the wrap coupler coincides with the interior
+    one).  Distances are closed-form: the Manhattan distance with each axis
+    measured the short way around, ``min(|d|, size - |d|)``.  Removing edge
+    effects makes the torus the natural control experiment against
+    :class:`GridCouplingMap` — same degree everywhere, shorter worst-case
+    routes — which is why the ROADMAP lists it as a backend family.
+    """
+
+    rows: int = 8
+    cols: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("torus dimensions must be positive")
+
+    # -- basic queries ------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return self.rows * self.cols
+
+    def index(self, row: int, col: int) -> int:
+        """Physical qubit index of position (row, col), wrapping both axes."""
+        return (row % self.rows) * self.cols + (col % self.cols)
+
+    def position(self, qubit: int) -> Tuple[int, int]:
+        """Torus position (row, col) of a physical qubit index."""
+        self._check_qubit(qubit)
+        return divmod(qubit, self.cols)
+
+    @staticmethod
+    def _axis_steps(start: int, end: int, size: int) -> Tuple[int, int]:
+        """(signed step, count) of the short way around one ring axis.
+
+        Ties (exactly half way around) deterministically go the increasing
+        direction, so every path query is reproducible.
+        """
+        forward = (end - start) % size
+        backward = (start - end) % size
+        if forward <= backward:
+            return 1, forward
+        return -1, backward
+
+    def distance(self, a: int, b: int) -> int:
+        """Closed-form torus distance (per-axis short way around)."""
+        ra, ca = self.position(a)
+        rb, cb = self.position(b)
+        dr = abs(ra - rb)
+        dc = abs(ca - cb)
+        return min(dr, self.rows - dr) + min(dc, self.cols - dc)
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """One shortest path (inclusive): rows the short way, then columns."""
+        ra, ca = self.position(a)
+        rb, cb = self.position(b)
+        row_step, row_count = self._axis_steps(ra, rb, self.rows)
+        col_step, col_count = self._axis_steps(ca, cb, self.cols)
+        path = [a]
+        row, col = ra, ca
+        for _ in range(row_count):
+            row += row_step
+            path.append(self.index(row, col))
+        for _ in range(col_count):
+            col += col_step
+            path.append(self.index(row, col))
+        return path
+
+    def candidate_paths(self, a: int, b: int) -> List[List[int]]:
+        """The two canonical L-paths (row-first / column-first), short way around."""
+        ra, ca = self.position(a)
+        rb, cb = self.position(b)
+        row_step, row_count = self._axis_steps(ra, rb, self.rows)
+        col_step, col_count = self._axis_steps(ca, cb, self.cols)
+        row_first = self.shortest_path(a, b)
+        if row_count == 0 or col_count == 0:
+            return [row_first]
+        col_first = [a]
+        row, col = ra, ca
+        for _ in range(col_count):
+            col += col_step
+            col_first.append(self.index(row, col))
+        for _ in range(row_count):
+            row += row_step
+            col_first.append(self.index(row, col))
+        return [row_first, col_first]
+
+    def random_shortest_path(self, a: int, b: int, rng: np.random.Generator) -> List[int]:
+        """A shortest torus path, randomising the row/column interleaving."""
+        ra, ca = self.position(a)
+        rb, cb = self.position(b)
+        row_step, row_count = self._axis_steps(ra, rb, self.rows)
+        col_step, col_count = self._axis_steps(ca, cb, self.cols)
+        moves = ["row"] * row_count + ["col"] * col_count
+        rng.shuffle(moves)
+        path = [a]
+        row, col = ra, ca
+        for move in moves:
+            if move == "row":
+                row += row_step
+            else:
+                col += col_step
+            path.append(self.index(row, col))
+        return path
+
+    # -- couplers -----------------------------------------------------------------
+
+    def couplers(self) -> List[Tuple[int, int]]:
+        """All couplers as sorted (low, high) pairs; wrap edges deduplicated.
+
+        On a 2-wide axis the wrap-around coupler coincides with the interior
+        one, and on a 1-wide axis it would be a self-loop; both collapse via
+        the set below, so the graph is always simple.
+        """
+        result = set()
+        for row in range(self.rows):
+            for col in range(self.cols):
+                qubit = self.index(row, col)
+                for neighbor_pos in ((row, col + 1), (row + 1, col)):
+                    neighbor = self.index(*neighbor_pos)
+                    if neighbor != qubit:
+                        result.add(tuple(sorted((qubit, neighbor))))
+        return sorted(result)
+
+    # -- layout support -----------------------------------------------------------
+
+    def layout_order(self) -> List[int]:
+        """Boustrophedon order (consecutive pairs adjacent, as on the grid)."""
+        order: List[int] = []
+        for row in range(self.rows):
+            cols = range(self.cols) if row % 2 == 0 else range(self.cols - 1, -1, -1)
+            for col in cols:
+                order.append(self.index(row, col))
+        return order
+
+
 def smallest_grid_for(num_qubits: int) -> GridCouplingMap:
     """The smallest (near-)square grid holding at least ``num_qubits`` qubits."""
     if num_qubits < 1:
@@ -480,12 +623,19 @@ def smallest_heavy_hex_for(num_qubits: int) -> HeavyHexCouplingMap:
     return HeavyHexCouplingMap(rows=grid.rows, cols=grid.cols)
 
 
+def smallest_torus_for(num_qubits: int) -> TorusCouplingMap:
+    """The smallest near-square torus holding at least ``num_qubits`` qubits."""
+    grid = smallest_grid_for(num_qubits)
+    return TorusCouplingMap(rows=grid.rows, cols=grid.cols)
+
+
 #: Topology tag -> (class, field names), the single source of truth for the
 #: JSON form of every coupling map.
 _COUPLING_KINDS = {
     "grid": (GridCouplingMap, ("rows", "cols")),
     "line": (LineCouplingMap, ("num_sites",)),
     "heavy_hex": (HeavyHexCouplingMap, ("rows", "cols")),
+    "torus": (TorusCouplingMap, ("rows", "cols")),
 }
 
 

@@ -1,0 +1,72 @@
+"""Provider-style execution primitives: run circuits, get results.
+
+This package is the user-facing front door for programmatic execution —
+the layer cloud providers converged on (sampler/estimator primitives with
+async job handles), built over this repo's own engines:
+
+* :meth:`repro.backends.Backend.run` / :meth:`Session.run` submit circuits
+  and return a :class:`JobHandle` (``status()`` / ``result()`` /
+  ``cancel()``, resolved lazily or on a thread pool);
+* :class:`Session` reuses one compilation per (circuit, topology, options)
+  across submissions and can share the sweep engine's content-addressed
+  :class:`~repro.runtime.store.ResultStore`;
+* :class:`Sampler` returns measurement counts and Monte-Carlo success
+  probabilities; :class:`Estimator` returns expectation values of
+  :class:`PauliObservable` s (exact statevector or noisy trajectories);
+* every result is a typed :class:`PrimitiveResult` carrying backend name,
+  content-addressed job keys, compile traces and timing.
+
+The sweep runtime (:mod:`repro.runtime`) executes through the same
+circuit-level job layer (:func:`repro.runtime.jobs.execute_spec`), so
+primitive submissions and declarative sweeps share cache entries
+bit-for-bit.
+
+Quickstart::
+
+    from repro.backends import get_backend
+
+    backend = get_backend("digiq-opt8")
+    job = backend.run("bv", num_qubits=12, shots=1024)
+    print(job.result()[0].counts)
+"""
+
+from .estimator import ESTIMATOR_METHODS, MAX_EXACT_QUBITS, Estimator
+from .job import JobHandle, JobStatus
+from .observables import PauliObservable
+from .results import (
+    CircuitExecution,
+    EstimateData,
+    EstimatorResult,
+    PrimitiveResult,
+    RunResult,
+    SampleData,
+    SamplerResult,
+)
+from .sampler import (
+    MAX_SAMPLED_QUBITS,
+    Sampler,
+    logical_measurement_probabilities,
+    sample_logical_counts,
+)
+from .session import Session
+
+__all__ = [
+    "CircuitExecution",
+    "ESTIMATOR_METHODS",
+    "EstimateData",
+    "Estimator",
+    "EstimatorResult",
+    "JobHandle",
+    "JobStatus",
+    "MAX_EXACT_QUBITS",
+    "MAX_SAMPLED_QUBITS",
+    "PauliObservable",
+    "PrimitiveResult",
+    "RunResult",
+    "SampleData",
+    "Sampler",
+    "SamplerResult",
+    "Session",
+    "logical_measurement_probabilities",
+    "sample_logical_counts",
+]

@@ -1,0 +1,195 @@
+"""Asynchronous job handles for the provider-style execution API.
+
+A :class:`JobHandle` is the value every submission door returns
+(:meth:`repro.backends.Backend.run`, :meth:`repro.primitives.Session.run`,
+:meth:`repro.primitives.Sampler.run`, :meth:`repro.primitives.Estimator.run`):
+a future-like object with ``status()`` / ``result()`` / ``cancel()``.
+
+Handles resolve in one of two modes:
+
+* **lazy** — nothing runs until the first :meth:`JobHandle.result` call,
+  which executes the work synchronously in the calling thread.  This is the
+  default for one-shot ``Backend.run`` submissions: no worker threads are
+  created, and a handle that is cancelled before being resolved never runs
+  at all.
+* **executor** — the work is submitted to a ``ThreadPoolExecutor`` (usually
+  a :class:`~repro.primitives.session.Session`'s pool) at creation time and
+  runs in the background; ``result()`` blocks until it finishes.
+
+Both modes share the same state machine (``QUEUED -> RUNNING -> DONE`` /
+``FAILED``, with ``CANCELLED`` reachable only before the work starts), so
+callers can treat every handle uniformly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import CancelledError, Executor, Future
+from enum import Enum
+from typing import Callable, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+#: Process-wide monotonically increasing job numbers (display only; content
+#: identity lives in the job *keys* carried by the result metadata).
+_JOB_COUNTER = itertools.count(1)
+
+
+class JobStatus(str, Enum):
+    """Lifecycle states of a :class:`JobHandle`."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the job can no longer change state."""
+        return self in (JobStatus.DONE, JobStatus.CANCELLED, JobStatus.FAILED)
+
+
+class JobHandle(Generic[T]):
+    """A cancellable, future-like handle to one submitted execution.
+
+    Parameters
+    ----------
+    work:
+        Zero-argument callable producing the job's result (typically a
+        closure over a :class:`~repro.primitives.session.Session` and a list
+        of :class:`~repro.runtime.spec.ExperimentSpec` s).
+    backend_name:
+        Name of the backend the job targets (display/metadata only).
+    executor:
+        When given, ``work`` is submitted to this executor immediately and
+        runs in the background; when ``None`` the handle is *lazy* and
+        ``work`` runs synchronously inside the first :meth:`result` call.
+    """
+
+    def __init__(
+        self,
+        work: Callable[[], T],
+        backend_name: str = "",
+        executor: Optional[Executor] = None,
+    ):
+        self._work = work
+        self.backend_name = backend_name
+        self.job_id = f"job-{next(_JOB_COUNTER)}"
+        self._lock = threading.RLock()
+        self._status = JobStatus.QUEUED
+        self._claimed = False
+        self._finished = threading.Event()
+        self._result: Optional[T] = None
+        self._error: Optional[BaseException] = None
+        self._future: Optional[Future] = None
+        if executor is not None:
+            self._future = executor.submit(self._invoke)
+
+    # -- execution ------------------------------------------------------------------
+
+    def _invoke(self) -> Optional[T]:
+        """Run the work once, tracking the state machine (worker entry point)."""
+        try:
+            with self._lock:
+                if self._status is JobStatus.CANCELLED:
+                    return None
+                self._status = JobStatus.RUNNING
+            try:
+                value = self._work()
+            except BaseException as error:
+                with self._lock:
+                    self._error = error
+                    self._status = JobStatus.FAILED
+                raise
+            with self._lock:
+                self._result = value
+                self._status = JobStatus.DONE
+            return value
+        finally:
+            # Wake every thread blocked in result() no matter how the work
+            # ended (done, failed, or cancelled before it started).
+            self._finished.set()
+
+    # -- inspection -----------------------------------------------------------------
+
+    def status(self) -> JobStatus:
+        """Current lifecycle state (non-blocking)."""
+        with self._lock:
+            return self._status
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state (done/failed/cancelled)."""
+        return self.status().is_terminal
+
+    def cancelled(self) -> bool:
+        """Whether the job was cancelled before it started."""
+        return self.status() is JobStatus.CANCELLED
+
+    # -- resolution -----------------------------------------------------------------
+
+    def result(self, timeout: Optional[float] = None) -> T:
+        """The job's result, executing or waiting for the work as needed.
+
+        Lazy handles resolve synchronously in the calling thread on the first
+        call (``timeout`` does not apply to that in-line execution, only to
+        other threads waiting on it); executor-backed handles block up to
+        ``timeout`` seconds for the background run.  Concurrent ``result()``
+        calls are safe in both modes — the work runs exactly once and every
+        caller sees the same outcome.  Raises
+        :class:`concurrent.futures.CancelledError` if the job was cancelled,
+        or re-raises the work's own exception if it failed.
+        """
+        if self._future is not None:
+            # future.result re-raises the work's exception or CancelledError.
+            self._future.result(timeout)
+            with self._lock:
+                if self._status is JobStatus.CANCELLED:
+                    raise CancelledError(f"{self.job_id} was cancelled")
+                return self._result
+        with self._lock:
+            if self._status is JobStatus.CANCELLED:
+                raise CancelledError(f"{self.job_id} was cancelled")
+            if self._status is JobStatus.DONE:
+                return self._result
+            if self._status is JobStatus.FAILED:
+                raise self._error
+            # Exactly one caller claims the in-line execution; later callers
+            # (status QUEUED-claimed or RUNNING) wait for it instead of
+            # re-running the work.
+            claimed = not self._claimed
+            self._claimed = True
+        if claimed:
+            try:
+                self._invoke()
+            except BaseException:
+                pass  # re-raised below from the recorded state
+        elif not self._finished.wait(timeout):
+            raise TimeoutError(f"{self.job_id} did not finish within {timeout}s")
+        with self._lock:
+            if self._status is JobStatus.CANCELLED:
+                raise CancelledError(f"{self.job_id} was cancelled")
+            if self._status is JobStatus.FAILED:
+                raise self._error
+            return self._result
+
+    def cancel(self) -> bool:
+        """Cancel the job if it has not started; returns whether it worked.
+
+        A job that is already running, done, or failed cannot be cancelled —
+        exactly the ``concurrent.futures`` contract.
+        """
+        with self._lock:
+            if self._status is not JobStatus.QUEUED:
+                return self._status is JobStatus.CANCELLED
+            if self._future is not None and not self._future.cancel():
+                return False
+            self._status = JobStatus.CANCELLED
+            return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobHandle(id={self.job_id!r}, backend={self.backend_name!r}, "
+            f"status={self.status().value})"
+        )

@@ -1,0 +1,160 @@
+"""Pauli-string observables for the :class:`~repro.primitives.Estimator`.
+
+A :class:`PauliObservable` is a real-weighted sum of Pauli strings over a
+logical register.  Labels use the register's own qubit order: character ``i``
+of a label is the Pauli acting on logical qubit ``i`` (so ``"ZIX"`` means Z
+on qubit 0, identity on qubit 1, X on qubit 2).  Expectation values are
+evaluated directly on (batched) statevectors via the circuits-layer
+:func:`~repro.circuits.simulator.apply_matrix` kernel, optionally through a
+logical-to-physical qubit map so compiled circuits can be scored without
+undoing their routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.simulator import apply_matrix
+
+#: Single-qubit Pauli matrices by label character.
+_PAULI_MATRICES: Dict[str, np.ndarray] = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.diag([1.0, -1.0]).astype(complex),
+}
+
+
+@dataclass(frozen=True)
+class PauliObservable:
+    """A real-weighted sum of Pauli strings over one logical register.
+
+    Attributes
+    ----------
+    terms:
+        ``((label, coefficient), ...)`` pairs.  All labels must have the same
+        length (the register width) and contain only ``I``/``X``/``Y``/``Z``;
+        coefficients are real, so the observable is Hermitian and its
+        expectation values are real numbers.
+    """
+
+    terms: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("an observable needs at least one Pauli term")
+        normalized = []
+        width = None
+        for label, coefficient in self.terms:
+            label = str(label).upper()
+            unknown = set(label) - set(_PAULI_MATRICES)
+            if unknown:
+                raise ValueError(
+                    f"bad Pauli label '{label}': unknown characters {sorted(unknown)}"
+                )
+            if width is None:
+                width = len(label)
+            elif len(label) != width:
+                raise ValueError(
+                    f"Pauli labels must share one register width; got lengths "
+                    f"{width} and {len(label)}"
+                )
+            normalized.append((label, float(coefficient)))
+        if width == 0:
+            raise ValueError("Pauli labels must cover at least one qubit")
+        object.__setattr__(self, "terms", tuple(normalized))
+
+    # -- constructors ---------------------------------------------------------------
+
+    @staticmethod
+    def from_label(label: str, coefficient: float = 1.0) -> "PauliObservable":
+        """A single Pauli string, e.g. ``PauliObservable.from_label("ZZ")``."""
+        return PauliObservable(terms=((label, coefficient),))
+
+    @staticmethod
+    def from_terms(
+        terms: Union[Mapping[str, float], Iterable[Tuple[str, float]]],
+    ) -> "PauliObservable":
+        """A weighted sum, e.g. ``from_terms({"ZZI": 0.5, "IZZ": 0.5})``."""
+        pairs = terms.items() if isinstance(terms, Mapping) else terms
+        return PauliObservable(terms=tuple((label, coeff) for label, coeff in pairs))
+
+    # -- structure ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Width of the logical register the observable addresses."""
+        return len(self.terms[0][0])
+
+    @property
+    def label(self) -> str:
+        """Human-readable form, e.g. ``"0.5*ZZI + 0.5*IZZ"`` (or a bare string)."""
+        if len(self.terms) == 1 and self.terms[0][1] == 1.0:
+            return self.terms[0][0]
+        return " + ".join(f"{coeff:g}*{label}" for label, coeff in self.terms)
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def expectation(
+        self,
+        state: np.ndarray,
+        num_qubits: Optional[int] = None,
+        qubit_map: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Expectation value ``<state|O|state>`` of a (batched) statevector.
+
+        Parameters
+        ----------
+        state:
+            Statevector of shape ``(..., 2**num_qubits)``; leading axes are
+            batch dimensions and each batch entry is scored independently.
+        num_qubits:
+            Width of the register ``state`` describes (inferred from the
+            state's last axis when omitted).
+        qubit_map:
+            Position of each logical qubit inside the state's register:
+            ``qubit_map[i]`` is the physical index holding logical qubit
+            ``i``.  Identity when omitted.  This is how compiled circuits
+            are scored in place — pass the final layout's mapping.
+
+        Returns the real expectation values with the state's batch shape
+        (a 0-d array for a single statevector — use ``float(...)``).
+        """
+        state = np.asarray(state, dtype=complex)
+        if num_qubits is None:
+            dim = state.shape[-1]
+            num_qubits = int(dim).bit_length() - 1
+        if state.shape[-1] != 2**num_qubits:
+            raise ValueError(
+                f"state dimension {state.shape[-1]} does not match {num_qubits} qubits"
+            )
+        positions = (
+            list(range(self.num_qubits)) if qubit_map is None else [int(q) for q in qubit_map]
+        )
+        if len(positions) != self.num_qubits:
+            raise ValueError(
+                f"qubit map covers {len(positions)} qubits but the observable "
+                f"addresses {self.num_qubits}"
+            )
+        for position in positions:
+            if not 0 <= position < num_qubits:
+                raise ValueError(f"mapped qubit {position} outside register of {num_qubits}")
+
+        total = np.zeros(state.shape[:-1], dtype=float)
+        for label, coefficient in self.terms:
+            transformed = state
+            for logical, pauli in enumerate(label):
+                if pauli == "I":
+                    continue
+                transformed = apply_matrix(
+                    transformed,
+                    _PAULI_MATRICES[pauli],
+                    (positions[logical],),
+                    num_qubits,
+                )
+            value = np.sum(np.conj(state) * transformed, axis=-1)
+            total = total + coefficient * np.real(value)
+        return total

@@ -1,0 +1,183 @@
+"""Typed result objects returned by the execution primitives.
+
+Every submission resolves to a :class:`PrimitiveResult`: an ordered container
+of per-circuit entries plus job-level metadata (backend name, content-
+addressed job keys, wall time, cache accounting).  The per-circuit entries
+are typed per primitive — :class:`CircuitExecution` for plain
+``Backend.run``/``Session.run`` submissions, :class:`SampleData` for the
+:class:`~repro.primitives.sampler.Sampler`, :class:`EstimateData` for the
+:class:`~repro.primitives.estimator.Estimator` — and each knows how to
+flatten itself into a report row
+(:func:`repro.analysis.report.summarize_primitive_results` renders them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CircuitExecution:
+    """One circuit's execution through the runtime job layer.
+
+    Attributes
+    ----------
+    label:
+        Display name of the executed circuit (benchmark name or the user
+        circuit's name).
+    job_key:
+        Content-addressed key of the underlying runtime job; identical to
+        the key an equivalent sweep job would store under, which is what
+        makes primitive submissions and sweeps share one cache.
+    backend:
+        Name of the backend the job ran on.
+    row:
+        The full runtime result row (timing, compile and — when fidelity
+        options were attached — Monte-Carlo fidelity columns).
+    counts:
+        Sampled measurement counts over the *logical* register (bitstrings
+        with qubit 0 rightmost), present when shots were requested.
+    shots:
+        Number of measurement samples behind ``counts`` (None without).
+    trace:
+        Per-pass compile metrics of the compilation that produced the job.
+    elapsed_s:
+        Wall time of the underlying job execution (0.0 for cache hits).
+    cached:
+        Whether the job was served from the result store instead of running.
+    """
+
+    label: str
+    job_key: str
+    backend: str
+    row: Dict[str, object]
+    counts: Optional[Dict[str, int]] = None
+    shots: Optional[int] = None
+    trace: Tuple[Dict[str, object], ...] = ()
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    # -- row conveniences -----------------------------------------------------------
+
+    @property
+    def success_probability(self) -> Optional[float]:
+        """Monte-Carlo success probability (None without fidelity options)."""
+        return self.row.get("success_probability")
+
+    @property
+    def ideal_success(self) -> Optional[float]:
+        """Noiseless dominant-outcome probability (success ceiling)."""
+        return self.row.get("ideal_success")
+
+    @property
+    def state_fidelity(self) -> Optional[float]:
+        """Mean Monte-Carlo state fidelity (None without fidelity options)."""
+        return self.row.get("state_fidelity")
+
+    @property
+    def normalized_time(self) -> Optional[float]:
+        """The Fig. 9 normalized execution time of the job."""
+        return self.row.get("normalized_time")
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into one report row (see ``summarize_primitive_results``)."""
+        return {
+            "circuit": self.label,
+            "backend": self.backend,
+            "kind": "run",
+            "shots": self.shots,
+            "success_probability": self.success_probability,
+            "normalized_time": self.normalized_time,
+            "cached": self.cached,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass(frozen=True)
+class SampleData(CircuitExecution):
+    """One sampled circuit: counts plus the shared fidelity/timing row."""
+
+    def as_row(self) -> Dict[str, object]:
+        row = super().as_row()
+        row["kind"] = "sample"
+        return row
+
+
+@dataclass(frozen=True)
+class EstimateData:
+    """One (circuit, observable) expectation value.
+
+    ``value`` is the estimated expectation; ``std_error`` is the standard
+    error of the trajectory mean (0.0 for the exact method).  ``execution``
+    carries the underlying compile/timing job the estimate reused.
+    """
+
+    observable: str
+    value: float
+    method: str
+    std_error: float = 0.0
+    trajectories: int = 0
+    execution: Optional[CircuitExecution] = None
+
+    @property
+    def label(self) -> str:
+        """Display name of the estimated circuit."""
+        return self.execution.label if self.execution is not None else ""
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into one report row (see ``summarize_primitive_results``)."""
+        return {
+            "circuit": self.label,
+            "backend": self.execution.backend if self.execution else None,
+            "kind": f"estimate[{self.method}]",
+            "observable": self.observable,
+            "value": round(float(self.value), 9),
+            "std_error": round(float(self.std_error), 9),
+            "trajectories": self.trajectories,
+            "cached": self.execution.cached if self.execution else False,
+        }
+
+
+@dataclass(frozen=True)
+class PrimitiveResult:
+    """Ordered per-circuit entries plus job-level metadata.
+
+    Metadata always carries ``backend`` (name), ``job_keys`` (content keys
+    in submission order), ``elapsed_s`` (summed execution wall time) and
+    ``cached`` (how many entries were store hits); primitives may add their
+    own fields (e.g. the sampler's ``shots``).
+    """
+
+    entries: Tuple[object, ...]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.entries)
+
+    def __getitem__(self, index):
+        return self.entries[index]
+
+
+@dataclass(frozen=True)
+class RunResult(PrimitiveResult):
+    """Result of ``Backend.run`` / ``Session.run``: :class:`CircuitExecution` entries."""
+
+    entries: Tuple[CircuitExecution, ...] = ()
+
+
+@dataclass(frozen=True)
+class SamplerResult(PrimitiveResult):
+    """Result of ``Sampler.run``: :class:`SampleData` entries."""
+
+    entries: Tuple[SampleData, ...] = ()
+
+
+@dataclass(frozen=True)
+class EstimatorResult(PrimitiveResult):
+    """Result of ``Estimator.run``: :class:`EstimateData` entries."""
+
+    entries: Tuple[EstimateData, ...] = ()

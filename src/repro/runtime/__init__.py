@@ -9,8 +9,8 @@ so reruns and resumed sweeps skip completed work.  ``python -m repro.runtime``
 is the CLI front end.
 """
 
-from .dispatch import SweepReport, default_worker_count, run_sweep
-from .jobs import JobResult, circuit_fingerprint, job_key
+from .dispatch import MAX_WORKERS_ENV, SweepReport, default_worker_count, run_sweep
+from .jobs import JobResult, circuit_fingerprint, execute_spec, job_key
 from .spec import (
     DEFAULT_BACKEND_NAMES,
     CompileOptions,
@@ -30,6 +30,7 @@ __all__ = [
     "ExperimentSpec",
     "FidelityOptions",
     "JobResult",
+    "MAX_WORKERS_ENV",
     "ResultStore",
     "SweepGrid",
     "SweepReport",
@@ -38,6 +39,7 @@ __all__ = [
     "config_from_dict",
     "config_to_dict",
     "default_worker_count",
+    "execute_spec",
     "job_key",
     "parse_config",
     "resolve_backend",

@@ -6,6 +6,9 @@ Fig. 9-style normalized-execution-time table, and leaves every job result in
 the on-disk store so the next invocation is pure cache hits.  Sweeping more
 than one backend also prints the cross-backend comparison table.
 
+The ``cache`` subcommand inspects and trims the content-addressed result
+store shared by sweeps and ``repro.primitives`` sessions.
+
 Examples::
 
     python -m repro.runtime
@@ -17,6 +20,8 @@ Examples::
     python -m repro.runtime --qubits 12 --fidelity --trajectories 200
     python -m repro.runtime --opt-level 2 --pass-metrics
     python -m repro.runtime --format json > sweep.json
+    python -m repro.runtime cache stats
+    python -m repro.runtime cache prune --max-entries 1000 --max-bytes 50000000
 """
 
 from __future__ import annotations
@@ -122,7 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers", type=int, default=None,
-        help="worker processes (default: min(4, cpu count); 1 = serial)",
+        help="worker processes (default: min(4, cpu count), or the "
+        "REPRO_MAX_WORKERS environment variable; 1 = serial)",
     )
     parser.add_argument(
         "--cache-dir", default=DEFAULT_STORE_DIR,
@@ -162,6 +168,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: aligned table)",
     )
     return parser
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    """Parser of the ``cache`` subcommand (store inspection and pruning)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--cache-dir", default=DEFAULT_STORE_DIR,
+        help=f"result-store directory (default {DEFAULT_STORE_DIR})",
+    )
+    common.add_argument(
+        "--format", choices=("table", "json"), default="table", dest="output_format",
+        help="output format (default: aligned table)",
+    )
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime cache",
+        description="Inspect or trim the content-addressed result store.",
+    )
+    actions = parser.add_subparsers(dest="action", required=True, metavar="ACTION")
+    actions.add_parser(
+        "stats",
+        parents=[common],
+        help="print entry count, total bytes and schema-version histogram",
+    )
+    prune = actions.add_parser(
+        "prune",
+        parents=[common],
+        help="evict oldest entries until the given limits hold",
+    )
+    prune.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="keep at most N entries (oldest evicted first)",
+    )
+    prune.add_argument(
+        "--max-bytes", type=int, default=None, metavar="B",
+        help="keep at most B bytes of entries (oldest evicted first)",
+    )
+    return parser
+
+
+def _stats_rows(stats: Dict[str, object]) -> List[Dict[str, object]]:
+    """Flatten ``ResultStore.stats()`` into one table row per schema version."""
+    versions = stats["schema_versions"] or {"-": 0}
+    return [
+        {
+            "store": stats["root"],
+            "schema": schema,
+            "entries": count,
+            "total_entries": stats["entries"],
+            "total_bytes": stats["total_bytes"],
+        }
+        for schema, count in versions.items()
+    ]
+
+
+def cache_main(argv: Sequence[str]) -> int:
+    """Entry point of ``python -m repro.runtime cache ...``."""
+    parser = build_cache_parser()
+    args = parser.parse_args(argv)
+    store = ResultStore(args.cache_dir)
+
+    if args.action == "prune":
+        if args.max_entries is None and args.max_bytes is None:
+            parser.error("prune needs --max-entries and/or --max-bytes")
+        try:
+            removed = store.prune(
+                max_entries=args.max_entries, max_bytes=args.max_bytes
+            )
+        except ValueError as error:
+            parser.error(str(error))
+        stats = store.stats()
+        if args.output_format == "json":
+            print(json.dumps({"removed": removed, "stats": stats}, sort_keys=True, indent=2))
+        else:
+            print(f"pruned {len(removed)} entries from {stats['root']}")
+            print(format_table(_stats_rows(stats), title="Result store"))
+        return 0
+
+    stats = store.stats()
+    if args.output_format == "json":
+        print(json.dumps(stats, sort_keys=True, indent=2))
+    else:
+        print(format_table(_stats_rows(stats), title="Result store"))
+    return 0
 
 
 def _power_rows(backends: Sequence[Backend], tile_qubits: int) -> List[Dict[str, object]]:
@@ -205,6 +294,9 @@ def render_report(report: SweepReport, elapsed_s: float) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -258,7 +350,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         message = error.args[0] if error.args else str(error)
         parser.error(str(message))
 
-    workers = args.workers if args.workers is not None else default_worker_count()
+    if args.workers is not None:
+        workers = args.workers
+    else:
+        try:
+            workers = default_worker_count()
+        except ValueError as error:  # malformed REPRO_MAX_WORKERS
+            parser.error(str(error))
     if workers < 1:
         parser.error("--workers must be >= 1")
 

@@ -21,7 +21,6 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..circuits.benchmarks import build_benchmark
 from .jobs import JobResult, execute_compile_group, job_key, ordered_row
 from .spec import ExperimentSpec, SweepGrid
 from .store import ResultStore, canonical_json
@@ -114,21 +113,43 @@ class SweepReport:
         return traces
 
 
+#: Environment variable overriding the default worker-pool size everywhere a
+#: pool is sized implicitly (the sweep dispatcher, the CLI, primitive
+#: sessions).  An explicit ``workers=`` / ``--workers`` argument still wins.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+
 def default_worker_count() -> int:
-    """Worker-pool size when the caller does not pin one (bounded, >= 1)."""
+    """Worker-pool size when the caller does not pin one (>= 1).
+
+    Defaults to ``min(4, cpu_count)``; the ``REPRO_MAX_WORKERS`` environment
+    variable overrides that cap (useful on large machines where four workers
+    under-use the host, or in CI where one worker keeps runs predictable).
+    """
+    override = os.environ.get(MAX_WORKERS_ENV)
+    if override is not None and override.strip():
+        try:
+            workers = int(override)
+        except ValueError:
+            raise ValueError(
+                f"{MAX_WORKERS_ENV} must be a positive integer, got {override!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(
+                f"{MAX_WORKERS_ENV} must be a positive integer, got {override!r}"
+            )
+        return workers
     return max(1, min(4, (os.cpu_count() or 1)))
 
 
 def compute_job_keys(specs: Sequence[ExperimentSpec]) -> List[str]:
-    """Content keys for a list of jobs, building each benchmark circuit once."""
-    circuits: Dict[Tuple[str, int, int], object] = {}
+    """Content keys for a list of jobs, building each source circuit once."""
+    circuits: Dict[Tuple[object, ...], object] = {}
     keys = []
     for spec in specs:
-        ident = (spec.benchmark, spec.num_qubits, spec.seed)
+        ident = (spec.benchmark, spec.num_qubits, spec.seed, id(spec.circuit))
         if ident not in circuits:
-            circuits[ident] = build_benchmark(
-                spec.benchmark, num_qubits=spec.num_qubits, seed=spec.seed
-            )
+            circuits[ident] = spec.source_circuit()
         keys.append(job_key(spec, circuit=circuits[ident]))
     return keys
 
@@ -146,6 +167,7 @@ def _group_payloads(
                 "benchmark": spec.benchmark,
                 "num_qubits": spec.num_qubits,
                 "seed": spec.seed,
+                "circuit": None if spec.circuit is None else spec.circuit.as_dict(),
                 "compile": spec.compile_options.as_dict(),
                 "jobs": [],
             }

@@ -1,30 +1,32 @@
 """Content-addressed job identity and the worker that executes jobs.
 
 A job's *key* is a SHA-256 over everything that determines its result: the
-exact gate stream of the benchmark circuit, the compiler options, and the
-backend (its topology family, DigiQ configuration, controller and
-calibration).  Two sweeps that build the same circuit and schedule it the
-same way therefore share cache entries, regardless of how the sweep was
-phrased — the result store is content-addressed, not name-addressed, and a
-legacy ``--configs opt8`` sweep hits the same entries as ``--backend
-digiq-opt8``.
+exact gate stream of the circuit, the compiler options, and the backend (its
+topology family, DigiQ configuration, controller and calibration).  Two
+submissions that build the same circuit and schedule it the same way
+therefore share cache entries, regardless of how the work was phrased — the
+result store is content-addressed, not name-addressed: a legacy ``--configs
+opt8`` sweep hits the same entries as ``--backend digiq-opt8``, and a
+:class:`repro.primitives.Sampler` submitting a Table IV circuit hits the
+same entries as the equivalent ``--fidelity`` sweep.
 
-:func:`execute_compile_group` is the unit of work the dispatcher sends to a
-worker process: it compiles one benchmark instance *once* per device
-topology and evaluates every requested backend against that single
-compilation, which is what makes wide backend sweeps cheap.
+:func:`execute_spec` runs exactly one job and is the execution door every
+client shares: :class:`repro.primitives.Session` calls it per submission,
+and :func:`execute_compile_group` — the unit of work the sweep dispatcher
+sends to a worker process — calls it once per backend after compiling the
+group's circuit a single time per device topology, which is what makes wide
+backend sweeps cheap.
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..backends import Backend
-from ..circuits.benchmarks import build_benchmark
-from ..circuits.circuit import QuantumCircuit
+from ..circuits.circuit import QuantumCircuit, circuit_fingerprint
 from ..compiler.pipeline import CompiledCircuit, compile_circuit
 from ..core.execution import normalized_execution_time
 from ..simulation.engine import run_trajectories
@@ -43,7 +45,11 @@ from .store import canonical_json
 #: v4: jobs are keyed on the full backend description (topology + config +
 #: controller + calibration) instead of a bare DigiQConfig; rows carry the
 #: backend name.
-RESULT_SCHEMA_VERSION = 4
+#: v5: circuit-level jobs — arbitrary user circuits (submitted through
+#: ``repro.primitives``) share the keyspace with benchmark jobs; specs of
+#: user-circuit jobs record the circuit fingerprint and worker payloads may
+#: carry a serialized gate stream instead of a generator name.
+RESULT_SCHEMA_VERSION = 5
 
 #: Canonical column order of a result row.  Stored entries round-trip through
 #: sorted-key JSON, so presentation order is re-imposed from this list.
@@ -77,32 +83,17 @@ def ordered_row(row: Dict[str, object]) -> Dict[str, object]:
     return known
 
 
-def circuit_fingerprint(circuit: QuantumCircuit) -> str:
-    """Stable SHA-256 fingerprint of a circuit's exact gate stream.
-
-    Parameters are formatted to 13 significant figures (with ``-0.0``
-    normalised to ``0.0``) so the fingerprint is stable against float
-    formatting artefacts while still distinguishing any two physically
-    different circuits.
-    """
-    hasher = hashlib.sha256()
-    hasher.update(f"{circuit.num_qubits}\n".encode())
-    for gate in circuit:
-        params = ",".join(f"{p + 0.0:.12e}" for p in gate.params)
-        hasher.update(f"{gate.name}:{gate.qubits}:{params}\n".encode())
-    return hasher.hexdigest()
-
-
 def job_key(spec: ExperimentSpec, circuit: Optional[QuantumCircuit] = None) -> str:
     """Content hash identifying one job's result.
 
-    The key covers the circuit contents (not just the benchmark name), the
-    compile options, and the full backend description, so any change to a
-    benchmark generator, the compiler knobs, or a device parameter produces a
-    fresh key and a clean recompute instead of a stale cache hit.
+    The key covers the circuit contents (not just a benchmark name — user
+    circuits and generator instances share the keyspace), the compile
+    options, and the full backend description, so any change to a benchmark
+    generator, the compiler knobs, or a device parameter produces a fresh
+    key and a clean recompute instead of a stale cache hit.
     """
     if circuit is None:
-        circuit = build_benchmark(spec.benchmark, num_qubits=spec.num_qubits, seed=spec.seed)
+        circuit = spec.source_circuit()
     payload = {
         "schema": RESULT_SCHEMA_VERSION,
         "circuit": circuit_fingerprint(circuit),
@@ -204,12 +195,12 @@ def _result_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, ob
 
 
 def compile_spec(spec: ExperimentSpec) -> CompiledCircuit:
-    """Build and compile the benchmark instance one spec describes.
+    """Build and compile the circuit instance one spec describes.
 
     The device is the spec's backend target, sized to the circuit — the
     paper's "smallest grid that fits" behaviour, generalised per topology.
     """
-    circuit = build_benchmark(spec.benchmark, num_qubits=spec.num_qubits, seed=spec.seed)
+    circuit = spec.source_circuit()
     options = spec.compile_options
     return compile_circuit(
         circuit,
@@ -223,58 +214,88 @@ def compile_spec(spec: ExperimentSpec) -> CompiledCircuit:
     )
 
 
+def execute_spec(
+    spec: ExperimentSpec,
+    key: Optional[str] = None,
+    compiled: Optional[CompiledCircuit] = None,
+) -> JobResult:
+    """Execute exactly one job; the circuit-level execution door.
+
+    Every execution client goes through here: the sweep worker
+    (:func:`execute_compile_group`) after compiling a group's circuit once,
+    and :class:`repro.primitives.Session` per submission (passing its cached
+    compilation via ``compiled``).  A row produced for a given spec is
+    byte-identical under canonical JSON no matter which client asked for it,
+    which is what lets all of them share one content-addressed store.
+
+    Parameters
+    ----------
+    spec:
+        The job to run.
+    key:
+        Pre-computed content key (recomputed from the spec when omitted).
+    compiled:
+        A compilation of the spec's circuit to reuse; when omitted the spec
+        is compiled here and the compile time is included in ``elapsed_s``.
+    """
+    start = time.perf_counter()
+    if compiled is None:
+        compiled = compile_spec(spec)
+    row = _result_row(spec, compiled)
+    elapsed = time.perf_counter() - start
+    return JobResult(
+        key=key if key is not None else job_key(spec),
+        spec=spec.describe(),
+        row=row,
+        elapsed_s=round(elapsed, 6),
+        trace=tuple(compiled.trace_rows()),
+    )
+
+
 def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]:
     """Execute all jobs of one compile group; the worker-process entry point.
 
     ``payload`` is plain JSON-able data (it must cross a process boundary)::
 
         {"benchmark": ..., "num_qubits": ..., "seed": ...,
+         "circuit": <serialized user circuit or None>,
          "compile": {"layout_strategy": ..., "routing_trials": ...},
          "jobs": [{"key": ..., "backend": <backend dict>,
                    "fidelity": <options dict or None>}, ...]}
 
     All jobs of one group share a device topology (the dispatcher groups by
-    :attr:`Backend.compile_key`), so the benchmark is built and compiled
+    :attr:`Backend.compile_key`), so the circuit is built and compiled
     exactly once; each job then only pays for SIMD scheduling under its own
     backend.  Returns the stored-form result dicts in the payload's job
     order.
     """
     options = CompileOptions(**payload["compile"])
-    base = ExperimentSpec(
-        benchmark=payload["benchmark"],
-        backend=Backend.from_dict(payload["jobs"][0]["backend"]),
-        num_qubits=payload["num_qubits"],
-        seed=payload["seed"],
-        compile_options=options,
-    )
-    start = time.perf_counter()
-    compiled = compile_spec(base)
-    compile_elapsed = time.perf_counter() - start
-    trace = tuple(compiled.trace_rows())
+    circuit_data = payload.get("circuit")
+    circuit = None if circuit_data is None else QuantumCircuit.from_dict(circuit_data)
 
-    results: List[Dict[str, object]] = []
-    for index, job in enumerate(payload["jobs"]):
-        spec = ExperimentSpec(
+    def group_spec(job: Dict[str, object]) -> ExperimentSpec:
+        return ExperimentSpec(
             benchmark=payload["benchmark"],
             backend=Backend.from_dict(job["backend"]),
             num_qubits=payload["num_qubits"],
             seed=payload["seed"],
             compile_options=options,
             fidelity=FidelityOptions.from_dict(job.get("fidelity")),
+            circuit=circuit,
         )
-        start = time.perf_counter()
-        row = _result_row(spec, compiled)
-        elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    compiled = compile_spec(group_spec(payload["jobs"][0]))
+    compile_elapsed = time.perf_counter() - start
+
+    results: List[Dict[str, object]] = []
+    for index, job in enumerate(payload["jobs"]):
+        result = execute_spec(group_spec(job), key=job["key"], compiled=compiled)
         # Attribute the shared compile cost to the group's first job so the
         # summed elapsed time of a sweep reflects real work done.
         if index == 0:
-            elapsed += compile_elapsed
-        result = JobResult(
-            key=job["key"],
-            spec=spec.describe(),
-            row=row,
-            elapsed_s=round(elapsed, 6),
-            trace=trace,
-        )
+            result = replace(
+                result, elapsed_s=round(result.elapsed_s + compile_elapsed, 6)
+            )
         results.append(result.as_dict())
     return results

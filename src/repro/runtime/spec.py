@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..backends import Backend, get_backend
-from ..circuits.benchmarks import BENCHMARK_NAMES
+from ..circuits.benchmarks import BENCHMARK_NAMES, build_benchmark
+from ..circuits.circuit import QuantumCircuit, circuit_fingerprint
 from ..compiler.layout import LAYOUT_STRATEGIES
 from ..compiler.pipeline import DEFAULT_OPT_LEVEL, OPT_LEVELS, PIPELINE_NAMES
 from ..core.architecture import DigiQConfig
@@ -170,7 +171,15 @@ class FidelityOptions:
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One schedulable job: benchmark instance x compile options x backend.
+    """One schedulable job: a circuit instance x compile options x backend.
+
+    The circuit is named either by a Table IV benchmark (``benchmark`` must
+    then be a registered generator name and ``num_qubits``/``seed``
+    parameterise it) or supplied directly as a user
+    :class:`~repro.circuits.circuit.QuantumCircuit` via ``circuit`` — the
+    door the :mod:`repro.primitives` execution API submits through.  For
+    user circuits ``benchmark`` is a free-form display label (defaulting to
+    the circuit's name) and ``num_qubits`` is taken from the circuit itself.
 
     ``seed`` seeds both the benchmark generator and the stochastic router, so
     one integer fully pins the job's randomness.  ``fidelity`` optionally
@@ -178,26 +187,45 @@ class ExperimentSpec:
     circuit alongside the timing columns.
     """
 
-    benchmark: str
+    benchmark: str = ""
     backend: BackendLike = "digiq-opt8"
     num_qubits: int = 16
     seed: int = 0
     compile_options: CompileOptions = field(default_factory=CompileOptions)
     fidelity: Optional[FidelityOptions] = None
+    circuit: Optional[QuantumCircuit] = None
 
     def __post_init__(self) -> None:
-        name = self.benchmark.lower()
-        if name not in BENCHMARK_NAMES:
-            raise ValueError(f"unknown benchmark '{self.benchmark}'; known: {BENCHMARK_NAMES}")
-        object.__setattr__(self, "benchmark", name)
+        if self.circuit is not None:
+            label = (self.benchmark or self.circuit.name or "circuit").lower()
+            object.__setattr__(self, "benchmark", label)
+            object.__setattr__(self, "num_qubits", self.circuit.num_qubits)
+        else:
+            name = self.benchmark.lower()
+            if name not in BENCHMARK_NAMES:
+                raise ValueError(
+                    f"unknown benchmark '{self.benchmark}'; known: {BENCHMARK_NAMES}"
+                )
+            object.__setattr__(self, "benchmark", name)
+            if self.num_qubits < 2:
+                raise ValueError("num_qubits must be >= 2")
         object.__setattr__(self, "backend", resolve_backend(self.backend))
-        if self.num_qubits < 2:
-            raise ValueError("num_qubits must be >= 2")
 
     @property
     def config(self) -> DigiQConfig:
         """The backend's DigiQ configuration (scheduling parameters)."""
         return self.backend.config
+
+    def source_circuit(self) -> QuantumCircuit:
+        """The logical circuit this job executes.
+
+        User circuits are returned as-is; benchmark jobs rebuild their
+        generator instance (cheap and deterministic for a given
+        ``(benchmark, num_qubits, seed)``).
+        """
+        if self.circuit is not None:
+            return self.circuit
+        return build_benchmark(self.benchmark, num_qubits=self.num_qubits, seed=self.seed)
 
     # -- grouping -------------------------------------------------------------------
 
@@ -205,14 +233,19 @@ class ExperimentSpec:
     def compile_group(self) -> Tuple[object, ...]:
         """Jobs sharing this tuple share one compilation.
 
-        Covers everything that shapes the physical circuit: the benchmark
-        instance, the compile options, and the backend's topology/basis
+        Covers everything that shapes the physical circuit: the circuit
+        instance (benchmark parameters, or the content fingerprint for user
+        circuits — their display label is presentation, not identity), the
+        compile options, and the backend's topology/basis
         (:attr:`Backend.compile_key`) — all DigiQ grid configs of one
         benchmark still compile once, while a line or heavy-hex backend
         compiles separately.
         """
+        circuit_ident = (
+            self.benchmark if self.circuit is None else circuit_fingerprint(self.circuit)
+        )
         return (
-            self.benchmark,
+            circuit_ident,
             self.num_qubits,
             self.seed,
             self.backend.compile_key,
@@ -227,6 +260,8 @@ class ExperimentSpec:
             "compile": self.compile_options.as_dict(),
             "backend": self.backend.to_dict(),
         }
+        if self.circuit is not None:
+            description["circuit"] = circuit_fingerprint(self.circuit)
         if self.fidelity is not None:
             description["fidelity"] = self.fidelity.as_dict()
         return description

@@ -68,6 +68,80 @@ class ResultStore:
     def __len__(self) -> int:
         return len(self.keys())
 
+    # -- accounting -----------------------------------------------------------------
+
+    def _entry_paths(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, object]:
+        """Store accounting: entry count, total bytes, schema-version histogram.
+
+        The histogram groups entries by the ``schema`` field of their stored
+        payload (``None`` for unreadable/torn entries), which is how mixed
+        stores left behind by version bumps are spotted before pruning.
+        """
+        entries = 0
+        total_bytes = 0
+        schema_versions: Dict[object, int] = {}
+        for path in self._entry_paths():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += size
+            stored = self.get(path.stem)
+            schema = None if stored is None else stored.get("schema")
+            label = "unreadable" if schema is None else str(schema)
+            schema_versions[label] = schema_versions.get(label, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "schema_versions": dict(sorted(schema_versions.items())),
+        }
+
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> List[str]:
+        """Evict oldest entries until both limits hold; returns removed keys.
+
+        Age is the entry file's modification time (ties broken by key, so a
+        prune is deterministic for a given on-disk state).  ``None`` leaves
+        a limit unenforced; calling with neither limit is a no-op.  Limits
+        must be non-negative — ``max_entries=0`` empties the store.
+        """
+        for name, limit in (("max_entries", max_entries), ("max_bytes", max_bytes)):
+            if limit is not None and limit < 0:
+                raise ValueError(f"{name} must be >= 0, got {limit}")
+        if max_entries is None and max_bytes is None:
+            return []
+        aged = []
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            aged.append((stat.st_mtime, path.stem, stat.st_size))
+        aged.sort()
+        entries = len(aged)
+        total_bytes = sum(size for _, _, size in aged)
+        removed: List[str] = []
+        for _, key, size in aged:
+            over_entries = max_entries is not None and entries > max_entries
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            if not over_entries and not over_bytes:
+                break
+            if self.discard(key):
+                removed.append(key)
+            entries -= 1
+            total_bytes -= size
+        return removed
+
     # -- writes ---------------------------------------------------------------------
 
     def put(self, key: str, result: Dict[str, object]) -> Path:

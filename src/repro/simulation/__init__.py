@@ -15,10 +15,12 @@ from .trajectories import (
     DEFAULT_BATCH_SIZE,
     FusedOp,
     TrajectoryResult,
+    advance_noisy_batch,
     apply_fused_ops,
     batch_sizes,
     fuse_circuit,
     ideal_final_state,
+    noisy_trajectory_states,
     run_trajectory_batch,
     simulate_trajectories,
     trajectory_batch_payloads,
@@ -31,11 +33,13 @@ __all__ = [
     "FusedOp",
     "NoiseModel",
     "TrajectoryResult",
+    "advance_noisy_batch",
     "apply_fused_ops",
     "batch_sizes",
     "benchmark_fidelity",
     "fuse_circuit",
     "ideal_final_state",
+    "noisy_trajectory_states",
     "run_trajectories",
     "run_trajectory_batch",
     "simulate_trajectories",

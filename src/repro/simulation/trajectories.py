@@ -207,19 +207,24 @@ class TrajectoryResult:
         )
 
 
-def run_trajectory_batch(
+def advance_noisy_batch(
     ops: Sequence[FusedOp],
     num_qubits: int,
     batch: int,
     rng: np.random.Generator,
-    ideal_state: np.ndarray,
     kick_cumweights: np.ndarray,
-) -> TrajectoryResult:
-    """Advance ``batch`` trajectories in lockstep and score them.
+) -> Tuple[np.ndarray, int]:
+    """Advance ``batch`` noisy trajectories in lockstep from ``|0...0>``.
 
-    The kick draws for every (op, qubit) site are consumed in circuit order
-    regardless of which trajectories are hit, so the generator's stream — and
-    therefore the result — depends only on its seed and the batch size.
+    Returns the ``(batch, 2**num_qubits)`` array of final statevectors and
+    the total number of Pauli kicks injected.  The kick draws for every
+    (op, qubit) site are consumed in circuit order regardless of which
+    trajectories are hit, so the generator's stream — and therefore the
+    states — depends only on its seed and the batch size.  This is the
+    single noisy-evolution kernel: :func:`run_trajectory_batch` scores its
+    states against the ideal state, and
+    :func:`noisy_trajectory_states` hands them to callers that need the raw
+    vectors (e.g. ``repro.primitives.Estimator`` expectation values).
     """
     if batch < 1:
         raise ValueError("batch must be >= 1")
@@ -239,6 +244,24 @@ def run_trajectory_batch(
                 if mask.any():
                     states[mask] = apply_matrix(states[mask], pauli, (qubit,), num_qubits)
                     kicks += int(mask.sum())
+    return states, kicks
+
+
+def run_trajectory_batch(
+    ops: Sequence[FusedOp],
+    num_qubits: int,
+    batch: int,
+    rng: np.random.Generator,
+    ideal_state: np.ndarray,
+    kick_cumweights: np.ndarray,
+) -> TrajectoryResult:
+    """Advance ``batch`` trajectories in lockstep and score them.
+
+    The kick draws for every (op, qubit) site are consumed in circuit order
+    regardless of which trajectories are hit, so the generator's stream — and
+    therefore the result — depends only on its seed and the batch size.
+    """
+    states, kicks = advance_noisy_batch(ops, num_qubits, batch, rng, kick_cumweights)
 
     fidelities = np.abs(states @ ideal_state.conj()) ** 2
     dominant = int(np.argmax(np.abs(ideal_state) ** 2))
@@ -290,6 +313,34 @@ def trajectory_batch_payloads(
         (ops, circuit.num_qubits, size, child, ideal, cumweights)
         for size, child in zip(sizes, children)
     ]
+
+
+def noisy_trajectory_states(
+    circuit: QuantumCircuit,
+    noise: NoiseModel,
+    num_trajectories: int,
+    seed: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> np.ndarray:
+    """Final statevectors of seeded noisy trajectories, one row per trajectory.
+
+    Shares the exact fusion + seeding + kick-draw scheme of
+    :func:`simulate_trajectories`, so for a given ``(seed, num_trajectories,
+    batch_size)`` triple the trajectory ``t`` returned here is the *same*
+    noisy evolution that :func:`simulate_trajectories` scored — an
+    expectation value averaged over these states is statistically consistent
+    with the fidelity columns the runtime reports for the same job.
+
+    Returns a dense ``(num_trajectories, 2**n)`` array; callers are expected
+    to respect the statevector simulator's small-circuit limits.
+    """
+    batches = [
+        advance_noisy_batch(ops, num_qubits, size, np.random.default_rng(child), cumweights)[0]
+        for ops, num_qubits, size, child, _ideal, cumweights in trajectory_batch_payloads(
+            circuit, noise, num_trajectories, seed=seed, batch_size=batch_size
+        )
+    ]
+    return np.concatenate(batches, axis=0)
 
 
 def simulate_trajectories(

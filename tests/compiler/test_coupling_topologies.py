@@ -152,7 +152,7 @@ class TestSerializationRoundtrip:
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown coupling map kind"):
-            coupling_from_dict({"kind": "torus", "rows": 3, "cols": 3})
+            coupling_from_dict({"kind": "moebius", "rows": 3, "cols": 3})
 
     def test_unexpected_fields_rejected(self):
         with pytest.raises(ValueError, match="unexpected"):

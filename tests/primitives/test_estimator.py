@@ -1,0 +1,215 @@
+"""Estimator: exact expectations vs statevector, trajectory estimates, observables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, simulate
+from repro.primitives import Estimator, PauliObservable, Session
+from repro.runtime import CompileOptions, FidelityOptions
+
+PAULI = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.diag([1.0, -1.0]).astype(complex),
+}
+
+
+def dense_expectation(state, observable: PauliObservable) -> float:
+    """Independent dense-matrix reference: <psi| sum_i c_i P_i |psi>."""
+    total = 0.0
+    for label, coeff in observable.terms:
+        matrix = np.eye(1, dtype=complex)
+        # Little-endian register: qubit 0 is the least significant factor.
+        for pauli in reversed(label):
+            matrix = np.kron(matrix, PAULI[pauli])
+        total += coeff * float(np.real(np.vdot(state, matrix @ state)))
+    return total
+
+
+def random_circuit(num_qubits: int, rng: np.random.Generator) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, name="random")
+    for _ in range(3 * num_qubits):
+        kind = rng.integers(0, 4)
+        qubit = int(rng.integers(0, num_qubits))
+        if kind == 0:
+            circuit.h(qubit)
+        elif kind == 1:
+            circuit.ry(float(rng.uniform(0, 2 * np.pi)), qubit)
+        elif kind == 2:
+            circuit.rz(float(rng.uniform(0, 2 * np.pi)), qubit)
+        elif num_qubits > 1:
+            other = int(rng.integers(0, num_qubits - 1))
+            other = other if other != qubit else num_qubits - 1
+            circuit.cx(qubit, other)
+    return circuit
+
+
+class TestExactMethod:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        num_qubits=st.integers(2, 6),
+        circuit_seed=st.integers(0, 1000),
+        label_seed=st.integers(0, 1000),
+        opt_level=st.sampled_from([0, 1, 2]),
+    )
+    def test_matches_statevector_to_1e9_on_small_circuits(
+        self, num_qubits, circuit_seed, label_seed, opt_level
+    ):
+        """Acceptance property: compiled-circuit expectations == ideal ones."""
+        rng = np.random.default_rng(circuit_seed)
+        circuit = random_circuit(num_qubits, rng)
+        label_rng = np.random.default_rng(label_seed)
+        label = "".join(label_rng.choice(list("IXYZ")) for _ in range(num_qubits))
+        observable = PauliObservable.from_label(label)
+
+        estimate = (
+            Estimator("digiq-opt8")
+            .run(
+                circuit,
+                observable,
+                compile_options=CompileOptions(opt_level=opt_level),
+            )
+            .result()[0]
+        )
+        expected = dense_expectation(simulate(circuit), observable)
+        assert estimate.method == "exact"
+        assert estimate.value == pytest.approx(expected, abs=1e-9)
+
+    def test_weighted_sum_observable(self):
+        circuit = QuantumCircuit(3, name="ghz")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        observable = PauliObservable.from_terms({"ZZI": 0.5, "IZZ": 0.5, "XXX": 2.0})
+        value = Estimator("digiq-opt8").run(circuit, observable).result()[0].value
+        assert value == pytest.approx(0.5 + 0.5 + 2.0, abs=1e-9)
+
+    def test_one_circuit_broadcasts_over_many_observables(self):
+        circuit = QuantumCircuit(2, name="bell")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        result = Estimator("digiq-opt8").run(circuit, ["ZZ", "XX", "ZI"]).result()
+        values = {entry.observable: entry.value for entry in result}
+        assert values["ZZ"] == pytest.approx(1.0, abs=1e-9)
+        assert values["XX"] == pytest.approx(1.0, abs=1e-9)
+        assert values["ZI"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTrajectoryMethod:
+    def test_zero_noise_trajectories_match_exact(self):
+        # With every rate forced to zero the trajectory mean is the ideal
+        # expectation for any trajectory count.
+        circuit = QuantumCircuit(2, name="bell")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        session = Session("digiq-opt8")
+        estimator = Estimator(session)
+        exact = estimator.run(circuit, "ZZ").result()[0].value
+
+        from repro.primitives.observables import PauliObservable as PO
+        from repro.simulation import NoiseModel
+        from repro.simulation.trajectories import noisy_trajectory_states
+
+        spec = session.make_specs(circuit)[0]
+        compiled = session.compiled_for(spec)
+        silent = NoiseModel(
+            num_qubits=compiled.coupling.num_qubits,
+            default_single_rate=0.0,
+            default_coupler_rate=0.0,
+        )
+        states = noisy_trajectory_states(compiled.physical_circuit, silent, 10, seed=0)
+        qubit_map = [compiled.final_layout.physical(q) for q in range(2)]
+        values = PO.from_label("ZZ").expectation(
+            states, num_qubits=compiled.coupling.num_qubits, qubit_map=qubit_map
+        )
+        assert np.allclose(values, exact, atol=1e-9)
+
+    def test_noisy_estimate_is_seeded_and_bounded(self):
+        circuit = QuantumCircuit(2, name="bell")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        options = FidelityOptions(trajectories=60, noise_seed=3)
+        estimator = Estimator("digiq-opt8")
+        first = estimator.run(
+            circuit, "ZZ", method="trajectories", fidelity_options=options, seed=5
+        ).result()[0]
+        second = estimator.run(
+            circuit, "ZZ", method="trajectories", fidelity_options=options, seed=5
+        ).result()[0]
+        assert first.value == second.value  # fully pinned by the seeds
+        assert first.trajectories == 60
+        assert first.std_error >= 0.0
+        assert -1.0 <= first.value <= 1.0
+        # Noise can only pull |<ZZ>| below the ideal value of 1.
+        assert first.value <= 1.0
+
+    def test_exact_method_respects_simulation_cap(self):
+        # 30 logical qubits -> >20 physical: refuse instead of a 16 GB alloc.
+        with pytest.raises(ValueError, match="exact estimation"):
+            Estimator("digiq-opt8").run("bv", "I" * 30, num_qubits=30).result()
+
+    def test_trajectory_method_respects_simulation_cap(self):
+        options = FidelityOptions(trajectories=5, max_qubits=4)
+        with pytest.raises(ValueError, match="max_qubits"):
+            Estimator("digiq-opt8").run(
+                "bv",
+                "I" * 8,
+                num_qubits=8,
+                method="trajectories",
+                fidelity_options=options,
+            ).result()
+
+
+class TestValidation:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown estimation method"):
+            Estimator("digiq-opt8").run("bv", "Z" * 8, method="shadow")
+
+    def test_observable_width_mismatch_rejected(self):
+        circuit = QuantumCircuit(3, name="c")
+        circuit.h(0)
+        with pytest.raises(ValueError, match="addresses"):
+            Estimator("digiq-opt8").run(circuit, "ZZ")
+
+    def test_broadcast_shape_mismatch_rejected(self):
+        a = QuantumCircuit(2, name="a")
+        a.h(0)
+        b = QuantumCircuit(2, name="b")
+        b.h(1)
+        c = QuantumCircuit(2, name="c")
+        c.x(0)
+        with pytest.raises(ValueError, match="broadcast"):
+            Estimator("digiq-opt8").run([a, b, c], ["ZZ", "XX"])
+
+    def test_bad_pauli_label_rejected(self):
+        with pytest.raises(ValueError, match="unknown characters"):
+            PauliObservable.from_label("ZQ")
+
+    def test_mixed_width_terms_rejected(self):
+        with pytest.raises(ValueError, match="register width"):
+            PauliObservable.from_terms({"ZZ": 1.0, "ZZZ": 1.0})
+
+
+class TestObservableExpectation:
+    @settings(max_examples=20, deadline=None)
+    @given(num_qubits=st.integers(1, 5), seed=st.integers(0, 500))
+    def test_expectation_matches_dense_reference(self, num_qubits, seed):
+        rng = np.random.default_rng(seed)
+        state = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+        state /= np.linalg.norm(state)
+        label = "".join(rng.choice(list("IXYZ")) for _ in range(num_qubits))
+        observable = PauliObservable.from_label(label)
+        assert float(observable.expectation(state)) == pytest.approx(
+            dense_expectation(state, observable), abs=1e-9
+        )
+
+    def test_qubit_map_relocates_the_observable(self):
+        # |psi> = |0>_p0 x |1>_p1: Z on physical 0 is +1, on physical 1 is -1.
+        state = np.zeros(4, dtype=complex)
+        state[2] = 1.0  # basis |q1=1, q0=0>
+        z = PauliObservable.from_label("Z")
+        assert float(z.expectation(state, num_qubits=2, qubit_map=[0])) == pytest.approx(1.0)
+        assert float(z.expectation(state, num_qubits=2, qubit_map=[1])) == pytest.approx(-1.0)

@@ -1,0 +1,198 @@
+"""JobHandle lifecycle: lazy/executor resolution, concurrency, cancellation."""
+
+import threading
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+
+import pytest
+
+from repro.primitives import JobHandle, JobStatus
+
+
+class TestLazyHandles:
+    def test_work_runs_only_on_first_result(self):
+        calls = []
+        handle = JobHandle(lambda: calls.append(1) or "value")
+        assert handle.status() is JobStatus.QUEUED
+        assert not handle.done()
+        assert handle.result() == "value"
+        assert handle.result() == "value"  # memoized, not re-run
+        assert calls == [1]
+        assert handle.status() is JobStatus.DONE
+
+    def test_cancel_before_resolution_prevents_execution(self):
+        calls = []
+        handle = JobHandle(lambda: calls.append(1))
+        assert handle.cancel() is True
+        assert handle.cancelled()
+        with pytest.raises(CancelledError):
+            handle.result()
+        assert calls == []
+
+    def test_cancel_after_done_fails(self):
+        handle = JobHandle(lambda: 42)
+        handle.result()
+        assert handle.cancel() is False
+        assert handle.status() is JobStatus.DONE
+
+    def test_cancel_is_idempotent(self):
+        handle = JobHandle(lambda: 42)
+        assert handle.cancel() is True
+        assert handle.cancel() is True  # already cancelled counts as success
+
+    def test_concurrent_result_calls_run_the_work_exactly_once(self):
+        release = threading.Event()
+        calls = []
+
+        def work():
+            calls.append(1)
+            release.wait(timeout=30)
+            return "value"
+
+        handle = JobHandle(work)
+        outcomes = []
+
+        def resolve():
+            outcomes.append(handle.result(timeout=30))
+
+        threads = [threading.Thread(target=resolve) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert outcomes == ["value"] * 4
+        assert calls == [1]  # the work ran once, not once per caller
+        assert handle.status() is JobStatus.DONE
+
+    def test_waiting_caller_times_out_without_corrupting_state(self):
+        release = threading.Event()
+        handle = JobHandle(lambda: (release.wait(timeout=30), "late")[1])
+        runner = threading.Thread(target=lambda: handle.result())
+        runner.start()
+        while handle.status() is JobStatus.QUEUED:
+            pass  # wait for the runner thread to claim the work
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.05)
+        release.set()
+        runner.join(timeout=30)
+        assert handle.result(timeout=30) == "late"
+
+    def test_failure_is_sticky_and_reraised(self):
+        def boom():
+            raise RuntimeError("kaput")
+
+        handle = JobHandle(boom)
+        with pytest.raises(RuntimeError, match="kaput"):
+            handle.result()
+        assert handle.status() is JobStatus.FAILED
+        with pytest.raises(RuntimeError, match="kaput"):
+            handle.result()
+
+
+class TestExecutorHandles:
+    def test_background_execution_and_result(self):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            handle = JobHandle(lambda: 7 * 6, executor=pool)
+            assert handle.result(timeout=30) == 42
+            assert handle.status() is JobStatus.DONE
+
+    def test_many_concurrent_handles_resolve_independently(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            handles = [
+                JobHandle((lambda i=i: i * i), executor=pool) for i in range(16)
+            ]
+            assert [h.result(timeout=30) for h in handles] == [i * i for i in range(16)]
+            assert all(h.status() is JobStatus.DONE for h in handles)
+
+    def test_status_transitions_through_running(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def work():
+            started.set()
+            release.wait(timeout=30)
+            return "done"
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            handle = JobHandle(work, executor=pool)
+            assert started.wait(timeout=30)
+            assert handle.status() is JobStatus.RUNNING
+            assert handle.cancel() is False  # running work cannot be cancelled
+            release.set()
+            assert handle.result(timeout=30) == "done"
+
+    def test_queued_work_can_be_cancelled(self):
+        release = threading.Event()
+        ran = []
+
+        def blocker():
+            release.wait(timeout=30)
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            blocking = JobHandle(blocker, executor=pool)
+            queued = JobHandle(lambda: ran.append(1), executor=pool)
+            assert queued.cancel() is True
+            assert queued.status() is JobStatus.CANCELLED
+            release.set()
+            blocking.result(timeout=30)
+            with pytest.raises(CancelledError):
+                queued.result(timeout=30)
+        assert ran == []
+
+    def test_failure_propagates_from_worker_thread(self):
+        def boom():
+            raise ValueError("worker kaput")
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            handle = JobHandle(boom, executor=pool)
+            with pytest.raises(ValueError, match="worker kaput"):
+                handle.result(timeout=30)
+            assert handle.status() is JobStatus.FAILED
+
+    def test_result_timeout_raises_without_corrupting_state(self):
+        release = threading.Event()
+
+        def work():
+            release.wait(timeout=30)
+            return "late"
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            handle = JobHandle(work, executor=pool)
+            with pytest.raises(Exception):  # concurrent.futures.TimeoutError
+                handle.result(timeout=0.05)
+            release.set()
+            assert handle.result(timeout=30) == "late"
+
+    def test_job_ids_are_unique(self):
+        handles = [JobHandle(lambda: None) for _ in range(10)]
+        assert len({h.job_id for h in handles}) == 10
+
+
+class TestSessionConcurrency:
+    def test_parallel_submissions_share_one_compilation(self):
+        from repro.primitives import Session
+
+        with Session("digiq-opt8", max_workers=4) as session:
+            handles = [
+                session.run("bv", num_qubits=8, seed=0, shots=64) for _ in range(6)
+            ]
+            results = [h.result(timeout=120) for h in handles]
+        first = results[0][0]
+        for result in results[1:]:
+            assert result[0].job_key == first.job_key
+            assert result[0].counts == first.counts
+        # At most a few compiles ran (racing threads may duplicate one), and
+        # the cache served the rest.
+        assert session.compile_misses <= 6
+        assert session.compile_hits >= 1
+
+    def test_closed_session_rejects_executor_submissions(self):
+        from repro.primitives import Session
+
+        session = Session("digiq-opt8")
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run("bv", num_qubits=8)
+        # Lazy submissions still work after close.
+        handle = session.run("bv", num_qubits=8, lazy=True)
+        assert handle.result()[0].row["benchmark"] == "bv"

@@ -122,6 +122,92 @@ class TestMain:
         assert "2 jobs (1 computed, 0 cached, 1 duplicate)" in capsys.readouterr().out
 
 
+class TestWorkersEnv:
+    def test_env_override_is_honored(self, monkeypatch):
+        from repro.runtime.dispatch import default_worker_count
+
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "7")
+        assert default_worker_count() == 7
+
+    def test_unset_env_uses_bounded_default(self, monkeypatch):
+        from repro.runtime.dispatch import default_worker_count
+
+        monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+        assert 1 <= default_worker_count() <= 4
+
+    @pytest.mark.parametrize("bad", ["abc", "0", "-3", "1.5"])
+    def test_malformed_env_raises_clear_error(self, monkeypatch, bad):
+        from repro.runtime.dispatch import default_worker_count
+
+        monkeypatch.setenv("REPRO_MAX_WORKERS", bad)
+        with pytest.raises(ValueError, match="REPRO_MAX_WORKERS must be a positive integer"):
+            default_worker_count()
+
+    def test_cli_reports_malformed_env_cleanly(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "nope")
+        with pytest.raises(SystemExit) as excinfo:
+            main(CLI_ARGS + ["--cache-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "REPRO_MAX_WORKERS" in capsys.readouterr().err
+
+    def test_explicit_workers_flag_beats_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "nope")  # would error if consulted
+        args = ["--benchmarks", "bv", "--configs", "opt8", "--qubits", "8"]
+        assert main(args + ["--cache-dir", str(tmp_path), "--workers", "1"]) == 0
+        assert "1 jobs" in capsys.readouterr().out
+
+
+class TestCacheSubcommand:
+    def _seed_store(self, tmp_path):
+        args = ["--benchmarks", "bv", "--configs", "opt8", "--qubits", "8"]
+        assert main(args + ["--cache-dir", str(tmp_path)]) == 0
+
+    def test_stats_table(self, tmp_path, capsys):
+        self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Result store" in out
+        assert str(tmp_path) in out
+
+    def test_stats_json_reports_schema_histogram(self, tmp_path, capsys):
+        from repro.runtime.jobs import RESULT_SCHEMA_VERSION
+
+        self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path), "--format", "json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["schema_versions"] == {str(RESULT_SCHEMA_VERSION): 1}
+        assert stats["total_bytes"] > 0
+
+    def test_prune_trims_to_entry_budget(self, tmp_path, capsys):
+        assert main(CLI_ARGS + ["--cache-dir", str(tmp_path)]) == 0  # 4 jobs
+        capsys.readouterr()
+        assert main(
+            ["cache", "prune", "--cache-dir", str(tmp_path), "--max-entries", "2"]
+        ) == 0
+        assert "pruned 2 entries" in capsys.readouterr().out
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path), "--format", "json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 2
+
+    def test_prune_without_limits_errors_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "--max-entries and/or --max-bytes" in capsys.readouterr().err
+
+    def test_prune_rejects_negative_limits(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "prune", "--cache-dir", str(tmp_path), "--max-entries", "-1"])
+        assert excinfo.value.code == 2
+        assert "max_entries" in capsys.readouterr().err
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_runs_a_sweep(self, tmp_path):
         """`python -m repro.runtime` end-to-end, as the acceptance criteria demand."""

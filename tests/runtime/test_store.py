@@ -55,6 +55,69 @@ class TestResultStore:
             ResultStore(tmp_path).path_for(bad)
 
 
+class TestStatsAndPrune:
+    def _put(self, store, key, schema, mtime=None):
+        path = store.put(key, {"schema": schema, "x": key[:4]})
+        if mtime is not None:
+            import os
+
+            os.utime(path, (mtime, mtime))
+        return path
+
+    def test_stats_counts_entries_bytes_and_schemas(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.stats() == {
+            "root": str(tmp_path),
+            "entries": 0,
+            "total_bytes": 0,
+            "schema_versions": {},
+        }
+        self._put(store, KEY_A, schema=4)
+        self._put(store, KEY_B, schema=5)
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] == sum(
+            p.stat().st_size for p in tmp_path.rglob("*.json")
+        )
+        assert stats["schema_versions"] == {"4": 1, "5": 1}
+
+    def test_stats_flags_unreadable_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._put(store, KEY_A, schema=5)
+        path.write_text("{torn", encoding="utf-8")
+        assert store.stats()["schema_versions"] == {"unreadable": 1}
+
+    def test_prune_evicts_oldest_first_by_entry_count(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._put(store, KEY_A, schema=5, mtime=100.0)  # oldest
+        self._put(store, KEY_B, schema=5, mtime=200.0)
+        removed = store.prune(max_entries=1)
+        assert removed == [KEY_A]
+        assert store.keys() == [KEY_B]
+
+    def test_prune_enforces_byte_budget(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path_a = self._put(store, KEY_A, schema=5, mtime=100.0)
+        size = path_a.stat().st_size
+        self._put(store, KEY_B, schema=5, mtime=200.0)
+        assert store.prune(max_bytes=size) == [KEY_A]
+        assert store.prune(max_bytes=0) == [KEY_B]
+        assert store.keys() == []
+
+    def test_prune_without_limits_is_a_noop(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._put(store, KEY_A, schema=5)
+        assert store.prune() == []
+        assert len(store) == 1
+
+    def test_prune_rejects_negative_limits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="max_entries"):
+            store.prune(max_entries=-1)
+        with pytest.raises(ValueError, match="max_bytes"):
+            store.prune(max_bytes=-5)
+
+
 class TestCanonicalJson:
     def test_sorted_and_compact(self):
         assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
