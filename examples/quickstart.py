@@ -10,6 +10,7 @@ import tempfile
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.report import format_table, summarize_primitive_results
 from repro.backends import get_backend
 from repro.circuits import QuantumCircuit, simulate
@@ -117,11 +118,36 @@ def estimator_matches_statevector() -> None:
     )
 
 
+def telemetry_summary() -> None:
+    """Observe a sweep with spans + metrics and print the summary tables."""
+    with tempfile.TemporaryDirectory() as scratch:
+        grid = SweepGrid(
+            benchmarks=("bv",), backends=("digiq-opt8",), num_qubits=8, seeds=(0,)
+        )
+        with telemetry.collecting():
+            run_sweep(grid, store=ResultStore(scratch))
+            spans = telemetry.snapshot_spans()
+    span_rows = telemetry.summarize_spans(spans)
+    assert any(row["span"] == "sweep.run" for row in span_rows)
+    assert any(row["span"].startswith("compile.pass.") for row in span_rows)
+    metrics = telemetry.snapshot_metrics()
+    assert metrics["counters"]["sweep.computed"] >= 1
+    print(format_table(span_rows, title="Telemetry spans"))
+    print()
+    print(
+        format_table(
+            telemetry.summarize_metrics(metrics), title="Telemetry metrics"
+        )
+    )
+
+
 if __name__ == "__main__":
     quickstart()
     user_circuit_run()
     sampler_shares_sweep_cache()
     session_reuses_compilation()
     estimator_matches_statevector()
+    print()
+    telemetry_summary()
     print()
     print("README quickstart examples: OK")

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..circuits.circuit import QuantumCircuit
 from .basis import count_basis_violations, decompose_to_two_qubit_gates, rebase_to_cz_basis
 from .coupling import CouplingMap
@@ -191,7 +192,8 @@ class PassManager:
         depth = circuit.depth()
         for pass_ in self._passes:
             start = time.perf_counter()
-            result = pass_.run(circuit, properties)
+            with telemetry.span(f"compile.pass.{pass_.name}", kind=pass_.kind):
+                result = pass_.run(circuit, properties)
             elapsed = time.perf_counter() - start
             if result is not None:
                 if pass_.kind == "analysis":

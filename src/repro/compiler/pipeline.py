@@ -29,8 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+import time
+
 import numpy as np
 
+from .. import telemetry
 from ..circuits.circuit import QuantumCircuit
 from .coupling import CouplingMap, smallest_grid_for
 
@@ -253,7 +256,16 @@ def compile_circuit(
         routing_trials=routing_trials,
     )
     properties = PropertySet({"target": target, "coupling": target.coupling})
-    physical, properties, trace = manager.run(circuit, properties)
+    start = time.perf_counter()
+    with telemetry.span(
+        "compile.circuit",
+        circuit=circuit.name or "circuit",
+        qubits=circuit.num_qubits,
+        opt_level=opt_level,
+    ):
+        physical, properties, trace = manager.run(circuit, properties)
+    telemetry.counter("compile.circuits").inc()
+    telemetry.histogram("compile.wall_s").observe(time.perf_counter() - start)
 
     return CompiledCircuit(
         source=circuit,

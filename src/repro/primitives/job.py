@@ -25,9 +25,13 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
+from concurrent import futures as _futures
 from concurrent.futures import CancelledError, Executor, Future
 from enum import Enum
-from typing import Callable, Generic, Optional, TypeVar
+from typing import Callable, Dict, Generic, Optional, TypeVar
+
+from .. import telemetry
 
 T = TypeVar("T")
 
@@ -84,6 +88,12 @@ class JobHandle(Generic[T]):
         self._result: Optional[T] = None
         self._error: Optional[BaseException] = None
         self._future: Optional[Future] = None
+        # Lifecycle timestamps (time.monotonic): recorded for every handle,
+        # lazy or executor-backed, and surfaced through ``timings``.
+        self.queued_at: float = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        telemetry.counter("jobs.submitted").inc()
         if executor is not None:
             self._future = executor.submit(self._invoke)
 
@@ -96,16 +106,21 @@ class JobHandle(Generic[T]):
                 if self._status is JobStatus.CANCELLED:
                     return None
                 self._status = JobStatus.RUNNING
+                self.started_at = time.monotonic()
             try:
                 value = self._work()
             except BaseException as error:
                 with self._lock:
                     self._error = error
                     self._status = JobStatus.FAILED
+                    self.finished_at = time.monotonic()
+                telemetry.counter("jobs.failed").inc()
                 raise
             with self._lock:
                 self._result = value
                 self._status = JobStatus.DONE
+                self.finished_at = time.monotonic()
+            telemetry.counter("jobs.completed").inc()
             return value
         finally:
             # Wake every thread blocked in result() no matter how the work
@@ -127,23 +142,57 @@ class JobHandle(Generic[T]):
         """Whether the job was cancelled before it started."""
         return self.status() is JobStatus.CANCELLED
 
+    @property
+    def timings(self) -> Dict[str, Optional[float]]:
+        """Lifecycle timestamps and derived durations (seconds).
+
+        ``queued_at``/``started_at``/``finished_at`` are ``time.monotonic``
+        readings (``None`` until the phase is reached; a job cancelled
+        before starting has no ``started_at``).  ``queued_s`` is time spent
+        waiting to start, ``run_s`` the work's own duration, ``total_s``
+        submission to terminal state.  Recorded identically for lazy and
+        executor-backed invocation.
+        """
+        with self._lock:
+            queued, started, finished = self.queued_at, self.started_at, self.finished_at
+        return {
+            "queued_at": queued,
+            "started_at": started,
+            "finished_at": finished,
+            "queued_s": None if started is None else started - queued,
+            "run_s": (
+                None if started is None or finished is None else finished - started
+            ),
+            "total_s": None if finished is None else finished - queued,
+        }
+
     # -- resolution -----------------------------------------------------------------
 
     def result(self, timeout: Optional[float] = None) -> T:
         """The job's result, executing or waiting for the work as needed.
 
         Lazy handles resolve synchronously in the calling thread on the first
-        call (``timeout`` does not apply to that in-line execution, only to
-        other threads waiting on it); executor-backed handles block up to
-        ``timeout`` seconds for the background run.  Concurrent ``result()``
-        calls are safe in both modes — the work runs exactly once and every
-        caller sees the same outcome.  Raises
-        :class:`concurrent.futures.CancelledError` if the job was cancelled,
-        or re-raises the work's own exception if it failed.
+        call (``timeout`` does not apply to that in-line execution — the
+        claimer *is* the worker — only to other threads waiting on it);
+        executor-backed handles block up to ``timeout`` seconds for the
+        background run.  Waiting is event-based in both modes, never a
+        poll loop, and the deadline is honoured precisely: a waiter that
+        times out raises the builtin :class:`TimeoutError` and leaves the
+        handle's state untouched.  Concurrent ``result()`` calls are safe —
+        the work runs exactly once and every caller sees the same outcome.
+        Raises :class:`concurrent.futures.CancelledError` if the job was
+        cancelled, or re-raises the work's own exception if it failed.
         """
         if self._future is not None:
-            # future.result re-raises the work's exception or CancelledError.
-            self._future.result(timeout)
+            try:
+                # future.result re-raises the work's exception or CancelledError.
+                self._future.result(timeout)
+            except _futures.TimeoutError:
+                # On 3.10 futures.TimeoutError is not the builtin; normalise
+                # so callers catch one exception type in both modes.
+                raise TimeoutError(
+                    f"{self.job_id} did not finish within {timeout}s"
+                ) from None
             with self._lock:
                 if self._status is JobStatus.CANCELLED:
                     raise CancelledError(f"{self.job_id} was cancelled")
@@ -186,7 +235,9 @@ class JobHandle(Generic[T]):
             if self._future is not None and not self._future.cancel():
                 return False
             self._status = JobStatus.CANCELLED
-            return True
+            self.finished_at = time.monotonic()
+        telemetry.counter("jobs.cancelled").inc()
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -33,6 +33,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import telemetry
 from ..backends import Backend, get_backend
 from ..circuits.circuit import QuantumCircuit
 from ..compiler.pipeline import CompiledCircuit
@@ -142,8 +143,10 @@ class Session:
             compiled = self._compiled.get(group)
             if compiled is not None:
                 self.compile_hits += 1
+                telemetry.counter("session.compile.hit").inc()
                 return compiled
             self.compile_misses += 1
+            telemetry.counter("session.compile.miss").inc()
         compiled = compile_spec(spec)
         with self._lock:
             self._compiled.setdefault(group, compiled)
@@ -168,6 +171,7 @@ class Session:
         with self._lock:
             hit = self._memory.get(key)
         if hit is not None:
+            telemetry.counter("session.jobs.cached").inc()
             return hit, True
         if self.store is not None:
             stored = self.store.get(key)
@@ -175,12 +179,14 @@ class Session:
                 result = JobResult.from_dict(stored)
                 with self._lock:
                     self._memory[key] = result
+                telemetry.counter("session.jobs.cached").inc()
                 return result, True
         result = execute_spec(spec, key=key, compiled=self.compiled_for(spec))
         if self.store is not None:
             self.store.put(key, result.as_dict())
         with self._lock:
             self._memory[key] = result
+        telemetry.counter("session.jobs.computed").inc()
         return result, False
 
     def make_specs(

@@ -1,0 +1,343 @@
+"""``repro bench`` — the tracked Table IV benchmark harness.
+
+:func:`run_bench` times the paper's six benchmarks (:data:`TABLE_IV_NAMES`)
+through the real compile pipeline — and, with ``fidelity=True``, through the
+Monte-Carlo trajectory engine — inside a :func:`repro.telemetry.collecting`
+window, then folds the aggregated spans and the metrics delta into a
+schema-versioned report (:data:`BENCH_SCHEMA`).
+
+:func:`bench_main` (the ``repro bench`` subcommand) writes the report to
+``BENCH_<rev>.json`` — ``rev`` defaults to the short git revision — and can
+gate CI with ``--check BASELINE``: the run fails when any benchmark's
+compile throughput drops more than ``--tolerance`` (default 25%) below the
+committed baseline.
+
+Examples::
+
+    python -m repro.runtime bench --quick
+    python -m repro.runtime bench --quick --fidelity --rev baseline
+    python -m repro.runtime bench --quick --check BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence
+
+from .. import telemetry
+from ..analysis.report import format_table
+from ..circuits.benchmarks import TABLE_IV_NAMES, build_benchmark
+from ..compiler.pipeline import DEFAULT_OPT_LEVEL, OPT_LEVELS, compile_circuit
+from ..simulation.channels import NoiseModel
+from ..simulation.engine import run_trajectories
+from ..telemetry.summary import aggregate_spans
+
+#: Version tag of the ``BENCH_<rev>.json`` report layout.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Compile-stage parameters: (device qubits, timed repeats per benchmark).
+FULL_PROFILE = {"qubits": 16, "repeats": 7, "trajectories": 100, "traj_batch": 25, "sim_qubits": 10}
+# Quick compiles are a few milliseconds, so the regression gate needs several
+# repeats for a stable best-of time; seven keeps the whole suite under a second.
+QUICK_PROFILE = {"qubits": 8, "repeats": 7, "trajectories": 20, "traj_batch": 10, "sim_qubits": 6}
+
+
+def _metrics_delta(
+    before: Mapping[str, object], after: Mapping[str, object]
+) -> Dict[str, object]:
+    """Counter/histogram activity between two registry snapshots.
+
+    The registry is process-global and cumulative, so a bench run embedded
+    in a longer process (tests, notebooks) diffs snapshots instead of
+    resetting shared state.  Histogram min/max are not invertible across
+    snapshots and are dropped; count/total/mean describe the window.
+    """
+    delta: Dict[str, object] = {"counters": {}, "gauges": dict(after.get("gauges") or {}), "histograms": {}}
+    prior = before.get("counters") or {}
+    for name, value in (after.get("counters") or {}).items():
+        moved = value - prior.get(name, 0)
+        if moved:
+            delta["counters"][name] = moved
+    prior = before.get("histograms") or {}
+    for name, summary in (after.get("histograms") or {}).items():
+        base = prior.get(name) or {}
+        count = summary["count"] - base.get("count", 0)
+        if not count:
+            continue
+        total = summary["total"] - base.get("total", 0.0)
+        delta["histograms"][name] = {
+            "count": count,
+            "total": total,
+            "mean": total / count,
+        }
+    return delta
+
+
+def bench_compile(
+    name: str, num_qubits: int, repeats: int, opt_level: int
+) -> Dict[str, object]:
+    """Time ``repeats`` full compilations of one benchmark (best-of wins).
+
+    Throughput is derived from the *minimum* wall time — the usual
+    microbenchmark convention, and far more stable than the mean under CI
+    scheduler noise (which is what ``--check`` compares against).
+    """
+    circuit = build_benchmark(name, num_qubits=num_qubits, seed=0)
+    times: List[float] = []
+    gates = depth = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        compiled = compile_circuit(circuit, seed=0, opt_level=opt_level)
+        times.append(time.perf_counter() - start)
+        gates = len(compiled.physical_circuit)
+        depth = compiled.physical_circuit.depth()
+    best = min(times)
+    return {
+        "benchmark": name,
+        "qubits": circuit.num_qubits,
+        "gates": gates,
+        "depth": depth,
+        "repeats": repeats,
+        "mean_s": sum(times) / len(times),
+        "min_s": best,
+        "throughput_per_s": 1.0 / best if best > 0 else None,
+    }
+
+
+def bench_fidelity(
+    name: str, sim_qubits: int, trajectories: int, batch_size: int
+) -> Dict[str, object]:
+    """Trajectory throughput of one benchmark on the statevector engine."""
+    circuit = build_benchmark(name, num_qubits=sim_qubits, seed=0)
+    noise = NoiseModel.uniform(circuit.num_qubits)
+    start = time.perf_counter()
+    result = run_trajectories(
+        circuit, noise, num_trajectories=trajectories, seed=0, batch_size=batch_size
+    )
+    wall = time.perf_counter() - start
+    return {
+        "benchmark": name,
+        "qubits": circuit.num_qubits,
+        "trajectories": result.num_trajectories,
+        "wall_s": wall,
+        "throughput_traj_per_s": result.num_trajectories / wall if wall > 0 else None,
+        "state_fidelity": result.state_fidelity,
+        "kicks": result.kicks,
+    }
+
+
+def run_bench(
+    benchmarks: Sequence[str] = TABLE_IV_NAMES,
+    quick: bool = False,
+    fidelity: bool = False,
+    opt_level: int = DEFAULT_OPT_LEVEL,
+    rev: str = "local",
+) -> Dict[str, object]:
+    """Run the benchmark suite and return the schema-versioned report."""
+    profile = QUICK_PROFILE if quick else FULL_PROFILE
+    metrics_before = telemetry.snapshot_metrics()
+    with telemetry.collecting():
+        compile_rows = [
+            bench_compile(name, profile["qubits"], profile["repeats"], opt_level)
+            for name in benchmarks
+        ]
+        fidelity_rows = None
+        if fidelity:
+            fidelity_rows = [
+                bench_fidelity(
+                    name,
+                    profile["sim_qubits"],
+                    profile["trajectories"],
+                    profile["traj_batch"],
+                )
+                for name in benchmarks
+            ]
+        spans = telemetry.snapshot_spans()
+    report: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "rev": rev,
+        "quick": quick,
+        "params": {
+            "benchmarks": list(benchmarks),
+            "opt_level": opt_level,
+            "qubits": profile["qubits"],
+            "repeats": profile["repeats"],
+        },
+        "compile": compile_rows,
+        "telemetry": {
+            "spans": aggregate_spans(spans),
+            "metrics": _metrics_delta(metrics_before, telemetry.snapshot_metrics()),
+        },
+    }
+    if fidelity_rows is not None:
+        report["params"].update(
+            {
+                "sim_qubits": profile["sim_qubits"],
+                "trajectories": profile["trajectories"],
+                "traj_batch": profile["traj_batch"],
+            }
+        )
+        report["fidelity"] = fidelity_rows
+    return report
+
+
+def check_regression(
+    report: Mapping[str, object],
+    baseline: Mapping[str, object],
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Compile-throughput regressions of ``report`` against ``baseline``.
+
+    Returns one message per benchmark whose throughput fell more than
+    ``tolerance`` (fractional) below the baseline's.  Benchmarks present in
+    only one report are ignored — adding or dropping a benchmark is not a
+    performance regression.
+    """
+    if baseline.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"baseline schema {baseline.get('schema')!r} != {BENCH_SCHEMA!r}"
+        )
+    current = {row["benchmark"]: row for row in report.get("compile") or []}
+    failures = []
+    for base_row in baseline.get("compile") or []:
+        row = current.get(base_row["benchmark"])
+        if row is None:
+            continue
+        base_tp, new_tp = base_row.get("throughput_per_s"), row.get("throughput_per_s")
+        if not base_tp or not new_tp:
+            continue
+        floor = base_tp * (1.0 - tolerance)
+        if new_tp < floor:
+            failures.append(
+                f"{row['benchmark']}: compile throughput {new_tp:.2f}/s is "
+                f"{(1.0 - new_tp / base_tp) * 100.0:.0f}% below baseline "
+                f"{base_tp:.2f}/s (tolerance {tolerance * 100.0:.0f}%)"
+            )
+    return failures
+
+
+def _git_rev() -> str:
+    """Short revision of the working tree, or ``local`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - no git
+        return "local"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "local"
+
+
+def _compile_table(rows: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+    return [
+        {
+            "benchmark": row["benchmark"],
+            "qubits": row["qubits"],
+            "gates": row["gates"],
+            "mean_ms": f"{row['mean_s'] * 1000.0:.1f}",
+            "min_ms": f"{row['min_s'] * 1000.0:.1f}",
+            "compiles_per_s": f"{row['throughput_per_s']:.2f}",
+        }
+        for row in rows
+    ]
+
+
+def _fidelity_table(rows: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+    return [
+        {
+            "benchmark": row["benchmark"],
+            "qubits": row["qubits"],
+            "trajectories": row["trajectories"],
+            "wall_s": f"{row['wall_s']:.2f}",
+            "traj_per_s": f"{row['throughput_traj_per_s']:.1f}",
+            "fidelity": f"{row['state_fidelity']:.4f}",
+        }
+        for row in rows
+    ]
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime bench",
+        description="Benchmark the Table IV suite and write BENCH_<rev>.json.",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=list(TABLE_IV_NAMES), metavar="NAME",
+        help=f"benchmarks to time (default: {' '.join(TABLE_IV_NAMES)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small instances and fewer repeats (the CI profile)",
+    )
+    parser.add_argument(
+        "--fidelity", action="store_true",
+        help="also measure Monte-Carlo trajectory throughput per benchmark",
+    )
+    parser.add_argument(
+        "--opt-level", type=int, default=DEFAULT_OPT_LEVEL, choices=OPT_LEVELS,
+        help="compiler optimization level to benchmark",
+    )
+    parser.add_argument(
+        "--rev", default=None, metavar="REV",
+        help="revision label of the report file (default: short git revision)",
+    )
+    parser.add_argument(
+        "--output-dir", default=".", metavar="DIR",
+        help="directory the BENCH_<rev>.json report is written to (default .)",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="fail (exit 1) if compile throughput regresses below this "
+        "BENCH_*.json baseline by more than --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional throughput drop with --check (default 0.25)",
+    )
+    return parser
+
+
+def bench_main(argv: Sequence[str]) -> int:
+    """Entry point of ``python -m repro.runtime bench ...``."""
+    parser = build_bench_parser()
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    rev = args.rev if args.rev is not None else _git_rev()
+    report = run_bench(
+        benchmarks=args.benchmarks,
+        quick=args.quick,
+        fidelity=args.fidelity,
+        opt_level=args.opt_level,
+        rev=rev,
+    )
+    out_path = Path(args.output_dir) / f"BENCH_{rev}.json"
+    out_path.write_text(json.dumps(report, sort_keys=True, indent=2) + "\n")
+
+    print(format_table(_compile_table(report["compile"]), title="Compile throughput"))
+    if "fidelity" in report:
+        print()
+        print(
+            format_table(
+                _fidelity_table(report["fidelity"]), title="Trajectory throughput"
+            )
+        )
+    print(f"\nwrote {out_path}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        failures = check_regression(report, baseline, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print(f"throughput within {args.tolerance * 100.0:.0f}% of {args.check}")
+    return 0

@@ -7,7 +7,10 @@ the on-disk store so the next invocation is pure cache hits.  Sweeping more
 than one backend also prints the cross-backend comparison table.
 
 The ``cache`` subcommand inspects and trims the content-addressed result
-store shared by sweeps and ``repro.primitives`` sessions.
+store shared by sweeps and ``repro.primitives`` sessions.  ``bench`` runs
+the tracked Table IV benchmark harness (see :mod:`repro.runtime.bench`),
+and ``telemetry summarize`` renders a ``--trace`` / ``REPRO_TELEMETRY``
+JSONL trace file as span and metric tables.
 
 Examples::
 
@@ -20,8 +23,11 @@ Examples::
     python -m repro.runtime --qubits 12 --fidelity --trajectories 200
     python -m repro.runtime --opt-level 2 --pass-metrics
     python -m repro.runtime --format json > sweep.json
+    python -m repro.runtime --trace sweep-trace.jsonl
     python -m repro.runtime cache stats
     python -m repro.runtime cache prune --max-entries 1000 --max-bytes 50000000
+    python -m repro.runtime bench --quick --fidelity
+    python -m repro.runtime telemetry summarize sweep-trace.jsonl
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..analysis.report import (
     format_table,
     summarize_backends,
@@ -167,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "json"), default="table", dest="output_format",
         help="output format (default: aligned table)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL telemetry trace of the sweep (spans + metrics) "
+        "to PATH; same effect as setting REPRO_TELEMETRY=PATH",
+    )
     return parser
 
 
@@ -253,6 +265,60 @@ def cache_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_telemetry_parser() -> argparse.ArgumentParser:
+    """Parser of the ``telemetry`` subcommand (trace-file inspection)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime telemetry",
+        description="Inspect JSONL telemetry traces written by --trace / REPRO_TELEMETRY.",
+    )
+    actions = parser.add_subparsers(dest="action", required=True, metavar="ACTION")
+    summarize = actions.add_parser(
+        "summarize",
+        help="aggregate a trace file into span and metric tables",
+    )
+    summarize.add_argument(
+        "trace", metavar="PATH",
+        help="trace file written by a --trace sweep or REPRO_TELEMETRY",
+    )
+    summarize.add_argument(
+        "--format", choices=("table", "json"), default="table", dest="output_format",
+        help="output format (default: aligned table)",
+    )
+    return parser
+
+
+def telemetry_main(argv: Sequence[str]) -> int:
+    """Entry point of ``python -m repro.runtime telemetry ...``."""
+    parser = build_telemetry_parser()
+    args = parser.parse_args(argv)
+    try:
+        span_rows, metric_rows, info = telemetry.summarize_trace_file(args.trace)
+    except FileNotFoundError:
+        parser.error(f"no trace file at {args.trace}")
+    except ValueError as error:
+        parser.error(str(error))
+    if args.output_format == "json":
+        print(
+            json.dumps(
+                {"info": info, "spans": span_rows, "metrics": metric_rows},
+                sort_keys=True,
+                indent=2,
+            )
+        )
+        return 0
+    headline = f"trace {info['path']}: {info['events']} events, {info['spans']} spans"
+    if not info["has_metrics"]:
+        headline += ", no metrics snapshot"
+    print(headline)
+    if span_rows:
+        print()
+        print(format_table(span_rows, title="Spans"))
+    if metric_rows:
+        print()
+        print(format_table(metric_rows, title="Metrics"))
+    return 0
+
+
 def _power_rows(backends: Sequence[Backend], tile_qubits: int) -> List[Dict[str, object]]:
     """Per-backend power/scalability rows from the hardware cost model."""
     return [
@@ -297,6 +363,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .bench import bench_main  # deferred: pulls in the simulation stack
+
+        return bench_main(argv[1:])
+    if argv and argv[0] == "telemetry":
+        return telemetry_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -360,12 +432,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if workers < 1:
         parser.error("--workers must be >= 1")
 
-    start = time.perf_counter()
-    if args.no_cache:
-        with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
-            report = run_sweep(grid, store=ResultStore(scratch), workers=workers)
+    # --trace wins over the REPRO_TELEMETRY environment variable; either way
+    # spans stream to the JSONL sink as they close and the final metrics
+    # snapshot is appended before the sink is released.
+    if args.trace:
+        telemetry.configure_sink(args.trace)
     else:
-        report = run_sweep(grid, store=ResultStore(args.cache_dir), workers=workers)
+        telemetry.configure_from_env()
+
+    start = time.perf_counter()
+    try:
+        if args.no_cache:
+            with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
+                report = run_sweep(grid, store=ResultStore(scratch), workers=workers)
+        else:
+            report = run_sweep(grid, store=ResultStore(args.cache_dir), workers=workers)
+    finally:
+        telemetry.flush_metrics()
+        telemetry.close_sink()
     elapsed = time.perf_counter() - start
 
     if args.output_format == "json":

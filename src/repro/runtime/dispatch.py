@@ -21,7 +21,8 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .jobs import JobResult, execute_compile_group, job_key, ordered_row
+from .. import telemetry
+from .jobs import JobResult, execute_compile_group, job_key, ordered_row, run_group_payload
 from .spec import ExperimentSpec, SweepGrid
 from .store import ResultStore, canonical_json
 
@@ -204,48 +205,70 @@ def run_sweep(
         raise ValueError("workers must be >= 1")
     store = store if store is not None else ResultStore()
 
-    specs = grid.expand()
-    keys = compute_job_keys(specs)
+    with telemetry.span(
+        "sweep.run", jobs=len(grid), workers=workers
+    ) as sweep_span:
+        specs = grid.expand()
+        keys = compute_job_keys(specs)
 
-    by_key: Dict[str, JobResult] = {}
-    cached_keys: List[str] = []
-    duplicate_keys: List[str] = []
-    missing_indices: List[int] = []
-    seen = set()
-    for index, key in enumerate(keys):
-        if key in seen:  # duplicate axis entry: one computation serves both
-            duplicate_keys.append(key)
-            continue
-        seen.add(key)
-        stored = store.get(key)
-        if stored is not None:
-            by_key[key] = JobResult.from_dict(stored)
-            cached_keys.append(key)
-        else:
-            missing_indices.append(index)
+        by_key: Dict[str, JobResult] = {}
+        cached_keys: List[str] = []
+        duplicate_keys: List[str] = []
+        missing_indices: List[int] = []
+        seen = set()
+        for index, key in enumerate(keys):
+            if key in seen:  # duplicate axis entry: one computation serves both
+                duplicate_keys.append(key)
+                continue
+            seen.add(key)
+            stored = store.get(key)
+            if stored is not None:
+                by_key[key] = JobResult.from_dict(stored)
+                cached_keys.append(key)
+            else:
+                missing_indices.append(index)
 
-    payloads = _group_payloads(specs, keys, missing_indices)
+        payloads = _group_payloads(specs, keys, missing_indices)
+        collect_spans = telemetry.enabled()
+        for payload in payloads:
+            payload["telemetry"] = collect_spans
 
-    def persist(batch: Sequence[Dict[str, object]]) -> None:
-        for result_dict in batch:
-            result = JobResult.from_dict(result_dict)
-            store.put(result.key, result.as_dict())
-            by_key[result.key] = result
+        def persist(batch: Sequence[Dict[str, object]]) -> None:
+            for result_dict in batch:
+                result = JobResult.from_dict(result_dict)
+                store.put(result.key, result.as_dict())
+                by_key[result.key] = result
 
-    if payloads:
-        # Each group's results are persisted as soon as that group finishes,
-        # so an interrupted sweep keeps every completed group and a resumed
-        # run only recomputes the remainder.
-        if workers == 1 or len(payloads) == 1:
-            for payload in payloads:
-                persist(execute_compile_group(payload))
-        else:
-            with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-                futures = [pool.submit(execute_compile_group, p) for p in payloads]
-                for future in as_completed(futures):
-                    persist(future.result())
-    # Deterministic accounting order regardless of worker completion order.
-    computed_keys = [job["key"] for payload in payloads for job in payload["jobs"]]
+        if payloads:
+            # Each group's results are persisted as soon as that group
+            # finishes, so an interrupted sweep keeps every completed group
+            # and a resumed run only recomputes the remainder.
+            if workers == 1 or len(payloads) == 1:
+                for payload in payloads:
+                    persist(execute_compile_group(payload))
+            else:
+                parent_id = sweep_span.span_id if sweep_span is not None else None
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(payloads))
+                ) as pool:
+                    futures = [pool.submit(run_group_payload, p) for p in payloads]
+                    for future in as_completed(futures):
+                        persist(future.result()["results"])
+                # Worker telemetry is merged in *submission* order (not
+                # completion order), so the merged span sequence — and
+                # therefore summaries and traces — is deterministic for a
+                # given grid, exactly like the result rows.
+                for future in futures:
+                    shipped = future.result()
+                    telemetry.merge_spans(shipped["spans"], parent_id=parent_id)
+                    telemetry.merge_metrics(shipped["metrics"])
+        # Deterministic accounting order regardless of worker completion order.
+        computed_keys = [job["key"] for payload in payloads for job in payload["jobs"]]
+
+        telemetry.counter("sweep.jobs").inc(len(keys))
+        telemetry.counter("sweep.computed").inc(len(computed_keys))
+        telemetry.counter("sweep.cached").inc(len(cached_keys))
+        telemetry.counter("sweep.duplicates").inc(len(duplicate_keys))
 
     results = [by_key[key] for key in keys]
     return SweepReport(

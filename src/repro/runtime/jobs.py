@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..backends import Backend
 from ..circuits.circuit import QuantumCircuit, circuit_fingerprint
 from ..compiler.pipeline import CompiledCircuit, compile_circuit
@@ -239,9 +240,15 @@ def execute_spec(
         is compiled here and the compile time is included in ``elapsed_s``.
     """
     start = time.perf_counter()
-    if compiled is None:
-        compiled = compile_spec(spec)
-    row = _result_row(spec, compiled)
+    with telemetry.span(
+        "job.execute",
+        benchmark=spec.benchmark,
+        backend=spec.backend.name,
+        fidelity=spec.fidelity is not None,
+    ):
+        if compiled is None:
+            compiled = compile_spec(spec)
+        row = _result_row(spec, compiled)
     elapsed = time.perf_counter() - start
     return JobResult(
         key=key if key is not None else job_key(spec),
@@ -284,18 +291,50 @@ def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]
             circuit=circuit,
         )
 
-    start = time.perf_counter()
-    compiled = compile_spec(group_spec(payload["jobs"][0]))
-    compile_elapsed = time.perf_counter() - start
+    with telemetry.span(
+        "sweep.group",
+        benchmark=payload["benchmark"],
+        seed=payload["seed"],
+        jobs=len(payload["jobs"]),
+    ):
+        start = time.perf_counter()
+        compiled = compile_spec(group_spec(payload["jobs"][0]))
+        compile_elapsed = time.perf_counter() - start
 
-    results: List[Dict[str, object]] = []
-    for index, job in enumerate(payload["jobs"]):
-        result = execute_spec(group_spec(job), key=job["key"], compiled=compiled)
-        # Attribute the shared compile cost to the group's first job so the
-        # summed elapsed time of a sweep reflects real work done.
-        if index == 0:
-            result = replace(
-                result, elapsed_s=round(result.elapsed_s + compile_elapsed, 6)
-            )
-        results.append(result.as_dict())
+        results: List[Dict[str, object]] = []
+        for index, job in enumerate(payload["jobs"]):
+            result = execute_spec(group_spec(job), key=job["key"], compiled=compiled)
+            # Attribute the shared compile cost to the group's first job so the
+            # summed elapsed time of a sweep reflects real work done.
+            if index == 0:
+                result = replace(
+                    result, elapsed_s=round(result.elapsed_s + compile_elapsed, 6)
+                )
+            results.append(result.as_dict())
     return results
+
+
+def run_group_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker-*process* entry point wrapping :func:`execute_compile_group`.
+
+    A pooled worker starts (or is reused) with stale process-local telemetry
+    — whatever a fork inherited or a previous task recorded — so this resets
+    the collector and registry first, runs the group (collecting spans when
+    the dispatching parent asked for them via ``payload['telemetry']``), and
+    ships the spans and metrics back alongside the results.  ``run_sweep``
+    merges both into the parent's telemetry, which is how a parallel sweep
+    reports the same span tree (modulo timings) and exactly the same
+    counters as a serial one.
+    """
+    telemetry.reset()
+    collect_spans = bool(payload.get("telemetry"))
+    if collect_spans:
+        with telemetry.collecting():
+            results = execute_compile_group(payload)
+    else:
+        results = execute_compile_group(payload)
+    return {
+        "results": results,
+        "spans": telemetry.snapshot_spans() if collect_spans else [],
+        "metrics": telemetry.snapshot_metrics(),
+    }

@@ -11,13 +11,18 @@ atomic rename so a crashed worker never leaves a torn entry behind.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .. import telemetry
+
 #: Default store location, relative to the current working directory.
 DEFAULT_STORE_DIR = ".repro_cache/sweeps"
+
+logger = logging.getLogger(__name__)
 
 
 def canonical_json(data: Dict[str, object]) -> str:
@@ -30,6 +35,8 @@ class ResultStore:
 
     def __init__(self, root: Optional[os.PathLike] = None):
         self.root = Path(root) if root is not None else Path(DEFAULT_STORE_DIR)
+        self._corrupt_seen = 0
+        self._warned_corrupt = False
 
     # -- addressing -----------------------------------------------------------------
 
@@ -42,17 +49,38 @@ class ResultStore:
     # -- reads ----------------------------------------------------------------------
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
-        """The stored result dict for a key, or None on a cache miss."""
+        """The stored result dict for a key, or None on a cache miss.
+
+        Torn/corrupt JSON entries read as misses (the dispatcher recomputes
+        and atomically replaces them) but are *not* silent: each one bumps
+        the ``store.corrupt`` counter and the instance's ``stats()['corrupt']``
+        count, and the first one per store instance logs a warning naming
+        the offending path.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
+                result = json.load(handle)
         except FileNotFoundError:
+            telemetry.counter("store.miss").inc()
             return None
         except json.JSONDecodeError:
-            # A torn/corrupt entry is treated as a miss; the dispatcher will
-            # recompute and atomically replace it.
+            self._corrupt_seen += 1
+            telemetry.counter("store.corrupt").inc()
+            telemetry.counter("store.miss").inc()
+            if not self._warned_corrupt:
+                self._warned_corrupt = True
+                logger.warning(
+                    "result store %s holds a torn/corrupt entry at %s; treating "
+                    "as a cache miss (it will be recomputed and replaced; "
+                    "further corrupt entries in this store are counted "
+                    "silently — see stats()['corrupt'])",
+                    self.root,
+                    path,
+                )
             return None
+        telemetry.counter("store.hit").inc()
+        return result
 
     def __contains__(self, key: str) -> bool:
         # Delegates to get() so a torn/corrupt entry reads as absent, exactly
@@ -81,6 +109,8 @@ class ResultStore:
         The histogram groups entries by the ``schema`` field of their stored
         payload (``None`` for unreadable/torn entries), which is how mixed
         stores left behind by version bumps are spotted before pruning.
+        ``corrupt`` counts the torn/corrupt entries *this instance's*
+        ``get()`` calls have swallowed as misses so far.
         """
         entries = 0
         total_bytes = 0
@@ -92,7 +122,13 @@ class ResultStore:
                 continue
             entries += 1
             total_bytes += size
-            stored = self.get(path.stem)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    stored = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                # The scan reads directly (not via get()) so inventorying a
+                # store never skews its hit/miss/corrupt accounting.
+                stored = None
             schema = None if stored is None else stored.get("schema")
             label = "unreadable" if schema is None else str(schema)
             schema_versions[label] = schema_versions.get(label, 0) + 1
@@ -100,6 +136,7 @@ class ResultStore:
             "root": str(self.root),
             "entries": entries,
             "total_bytes": total_bytes,
+            "corrupt": self._corrupt_seen,
             "schema_versions": dict(sorted(schema_versions.items())),
         }
 
@@ -146,6 +183,7 @@ class ResultStore:
 
     def put(self, key: str, result: Dict[str, object]) -> Path:
         """Atomically persist one result dict under its key."""
+        telemetry.counter("store.put").inc()
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..circuits.circuit import QuantumCircuit
 from .channels import NoiseModel
 from .trajectories import (
@@ -72,13 +73,26 @@ def run_trajectories(
     )
 
     parts: List[TrajectoryResult]
-    if workers == 1 or len(payloads) == 1:
-        parts = [_run_batch(payload) for payload in payloads]
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-            # pool.map preserves submission order, so the merge below sees
-            # batches exactly as the serial path would.
-            parts = list(pool.map(_run_batch, payloads))
+    with telemetry.span(
+        "sim.run",
+        qubits=circuit.num_qubits,
+        trajectories=num_trajectories,
+        batches=len(payloads),
+        workers=workers,
+    ):
+        if workers == 1 or len(payloads) == 1:
+            # In-process batches record their own sim.batch kernel spans,
+            # nested under this one (the path fidelity sweep jobs take).
+            parts = [_run_batch(payload) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+                # pool.map preserves submission order, so the merge below sees
+                # batches exactly as the serial path would.  Batch kernel
+                # spans recorded inside these short-lived workers are not
+                # shipped back; the sweep dispatcher (which runs trajectories
+                # with workers=1 inside its own pooled processes) is the
+                # cross-process telemetry boundary.
+                parts = list(pool.map(_run_batch, payloads))
     return TrajectoryResult.merge(parts)
 
 

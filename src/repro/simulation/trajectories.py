@@ -23,11 +23,13 @@ the result bit-for-bit — serially or across worker processes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.library import gate_matrix
 from ..circuits.simulator import apply_matrix, zero_state
@@ -260,8 +262,19 @@ def run_trajectory_batch(
     The kick draws for every (op, qubit) site are consumed in circuit order
     regardless of which trajectories are hit, so the generator's stream — and
     therefore the result — depends only on its seed and the batch size.
+
+    Each call is one ``sim.batch`` kernel span; the ``sim.kernel_s``
+    histogram and the ``sim.trajectories`` / ``sim.kicks`` / ``sim.batches``
+    counters accumulate the throughput story ``repro bench --fidelity``
+    reports.
     """
-    states, kicks = advance_noisy_batch(ops, num_qubits, batch, rng, kick_cumweights)
+    start = time.perf_counter()
+    with telemetry.span("sim.batch", qubits=num_qubits, batch=batch):
+        states, kicks = advance_noisy_batch(ops, num_qubits, batch, rng, kick_cumweights)
+    telemetry.histogram("sim.kernel_s").observe(time.perf_counter() - start)
+    telemetry.counter("sim.batches").inc()
+    telemetry.counter("sim.trajectories").inc(batch)
+    telemetry.counter("sim.kicks").inc(kicks)
 
     fidelities = np.abs(states @ ideal_state.conj()) ** 2
     dominant = int(np.argmax(np.abs(ideal_state) ** 2))

@@ -1,0 +1,173 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Unlike spans, metrics are *always* recorded — a counter increment is one
+locked integer add, cheap enough to leave on unconditionally — so cache
+hit/miss ratios and job accounting are available even when no trace sink
+or collection window is open.
+
+All three instrument kinds snapshot to plain JSON and merge additively
+(counters and histograms sum; gauges keep the incoming sample), which is
+how worker-process registries fold back into the parent's after a
+``run_sweep`` fan-out: serial and parallel runs of the same grid produce
+exactly equal counter values.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class Counter:
+    """A monotonically increasing count (cache hits, jobs computed, ...)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for level values")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A last-write-wins level value (queue depth, store bytes, ...)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Streaming distribution summary: count, sum, min, max.
+
+    Keeps O(1) state rather than samples, so it can sit on per-batch kernel
+    paths; mean is derived at read time.
+    """
+
+    __slots__ = ("name", "_count", "_total", "_min", "_max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    def summary(self) -> Dict[str, object]:
+        with self._lock:
+            mean = self._total / self._count if self._count else None
+            return {
+                "count": self._count,
+                "total": self._total,
+                "min": self._min,
+                "max": self._max,
+                "mean": mean,
+            }
+
+
+class MetricsRegistry:
+    """Process-local, thread-safe registry of named instruments."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    def reset(self) -> None:
+        """Drop every instrument (worker-task entry / test isolation)."""
+        with self._lock:
+            self._counters = {}
+            self._gauges = {}
+            self._histograms = {}
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able state of every instrument (sorted names)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: counters[name].value for name in sorted(counters)},
+            "gauges": {name: gauges[name].value for name in sorted(gauges)},
+            "histograms": {
+                name: histograms[name].summary() for name in sorted(histograms)
+            },
+        }
+
+    def merge(self, snapshot: Optional[Dict[str, object]]) -> None:
+        """Fold a worker registry's snapshot into this one (additive)."""
+        if not snapshot:
+            return
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, summary in (snapshot.get("histograms") or {}).items():
+            histogram = self.histogram(name)
+            count = int(summary.get("count") or 0)
+            if count == 0:
+                continue
+            with histogram._lock:
+                histogram._count += count
+                histogram._total += float(summary.get("total") or 0.0)
+                for bound, pick in (("min", min), ("max", max)):
+                    incoming = summary.get(bound)
+                    if incoming is None:
+                        continue
+                    current = getattr(histogram, f"_{bound}")
+                    merged = incoming if current is None else pick(current, incoming)
+                    setattr(histogram, f"_{bound}", merged)

@@ -1,0 +1,92 @@
+"""Human-readable aggregation of spans and metrics.
+
+These helpers turn raw telemetry — live collector snapshots, worker
+merges, or a JSONL trace file — into the row dicts
+:func:`repro.analysis.report.format_table` renders.  ``repro telemetry
+summarize`` is a thin CLI wrapper around :func:`summarize_trace_file`.
+
+Aggregation is by span *name*: one row per distinct name with call count
+and total/mean/max duration, sorted by total time descending (ties broken
+by name, so the tables are deterministic for a given input).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .sink import read_trace, split_trace
+
+
+def aggregate_spans(span_dicts: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """One aggregate entry per span name: count and duration statistics."""
+    buckets: Dict[str, Dict[str, float]] = {}
+    for entry in span_dicts:
+        name = str(entry.get("name"))
+        duration = float(entry.get("duration_s") or 0.0)
+        bucket = buckets.setdefault(name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        bucket["count"] += 1
+        bucket["total_s"] += duration
+        bucket["max_s"] = max(bucket["max_s"], duration)
+    aggregated = [
+        {
+            "span": name,
+            "count": int(bucket["count"]),
+            "total_s": bucket["total_s"],
+            "mean_s": bucket["total_s"] / bucket["count"],
+            "max_s": bucket["max_s"],
+        }
+        for name, bucket in buckets.items()
+    ]
+    aggregated.sort(key=lambda row: (-row["total_s"], row["span"]))
+    return aggregated
+
+
+def summarize_spans(span_dicts: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """Renderable span rows: aggregated, with millisecond duration columns."""
+    return [
+        {
+            "span": row["span"],
+            "count": row["count"],
+            "total_ms": f"{row['total_s'] * 1000.0:.3f}",
+            "mean_ms": f"{row['mean_s'] * 1000.0:.3f}",
+            "max_ms": f"{row['max_s'] * 1000.0:.3f}",
+        }
+        for row in aggregate_spans(span_dicts)
+    ]
+
+
+def summarize_metrics(snapshot: Optional[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """Renderable metric rows: one per instrument, sorted by (kind, name)."""
+    if not snapshot:
+        return []
+    rows: List[Dict[str, object]] = []
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        rows.append({"metric": name, "kind": "counter", "value": value, "detail": ""})
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        rows.append({"metric": name, "kind": "gauge", "value": value, "detail": ""})
+    for name, summary in sorted((snapshot.get("histograms") or {}).items()):
+        count = summary.get("count") or 0
+        mean = summary.get("mean")
+        detail = "" if mean is None else f"mean={mean:.6f} max={summary.get('max'):.6f}"
+        rows.append({"metric": name, "kind": "histogram", "value": count, "detail": detail})
+    return rows
+
+
+def summarize_trace_file(
+    path,
+) -> Tuple[List[Dict[str, object]], List[Dict[str, object]], Dict[str, object]]:
+    """Summarize one JSONL trace file.
+
+    Returns ``(span_rows, metric_rows, info)`` where ``info`` carries the
+    headline accounting (event/span counts and whether a metrics snapshot
+    was present) printed above the tables.
+    """
+    events = read_trace(path)
+    span_dicts, metrics = split_trace(events)
+    info = {
+        "path": str(path),
+        "events": len(events),
+        "spans": len(span_dicts),
+        "has_metrics": metrics is not None,
+    }
+    return summarize_spans(span_dicts), summarize_metrics(metrics), info

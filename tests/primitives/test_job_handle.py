@@ -158,14 +158,64 @@ class TestExecutorHandles:
 
         with ThreadPoolExecutor(max_workers=1) as pool:
             handle = JobHandle(work, executor=pool)
-            with pytest.raises(Exception):  # concurrent.futures.TimeoutError
+            # Both resolution modes raise the *builtin* TimeoutError (the
+            # concurrent.futures one is normalised away on Python 3.10).
+            with pytest.raises(TimeoutError, match=handle.job_id):
                 handle.result(timeout=0.05)
             release.set()
             assert handle.result(timeout=30) == "late"
 
+    def test_result_timeout_is_honoured_precisely(self):
+        import time
+
+        release = threading.Event()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            handle = JobHandle(lambda: release.wait(timeout=30), executor=pool)
+            start = time.monotonic()
+            with pytest.raises(TimeoutError):
+                handle.result(timeout=0.2)
+            waited = time.monotonic() - start
+            release.set()
+            handle.result(timeout=30)
+        # Event-based waiting: the deadline is met without polling slack.
+        assert 0.2 <= waited < 2.0
+
     def test_job_ids_are_unique(self):
         handles = [JobHandle(lambda: None) for _ in range(10)]
         assert len({h.job_id for h in handles}) == 10
+
+
+class TestTimings:
+    def test_lazy_handle_records_all_three_phases(self):
+        handle = JobHandle(lambda: "value")
+        timings = handle.timings
+        assert timings["queued_at"] is not None
+        assert timings["started_at"] is None and timings["finished_at"] is None
+        assert timings["queued_s"] is None and timings["total_s"] is None
+        handle.result()
+        timings = handle.timings
+        assert timings["queued_at"] <= timings["started_at"] <= timings["finished_at"]
+        assert timings["queued_s"] >= 0.0
+        assert timings["run_s"] >= 0.0
+        assert timings["total_s"] == pytest.approx(
+            timings["queued_s"] + timings["run_s"]
+        )
+
+    def test_executor_handle_records_all_three_phases(self):
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            handle = JobHandle(lambda: "value", executor=pool)
+            handle.result(timeout=30)
+        timings = handle.timings
+        assert timings["queued_at"] <= timings["started_at"] <= timings["finished_at"]
+        assert timings["run_s"] >= 0.0
+
+    def test_cancelled_handle_has_no_start_but_a_finish(self):
+        handle = JobHandle(lambda: "never")
+        assert handle.cancel() is True
+        timings = handle.timings
+        assert timings["started_at"] is None and timings["run_s"] is None
+        assert timings["finished_at"] is not None
+        assert timings["total_s"] >= 0.0
 
 
 class TestSessionConcurrency:

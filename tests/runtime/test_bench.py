@@ -1,0 +1,135 @@
+"""Tests for the ``repro bench`` harness and its regression gate."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.runtime.bench import (
+    BENCH_SCHEMA,
+    QUICK_PROFILE,
+    bench_main,
+    check_regression,
+    run_bench,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+class TestRunBench:
+    def test_quick_report_shape(self):
+        report = run_bench(benchmarks=("bv",), quick=True, rev="test")
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["rev"] == "test"
+        assert report["quick"] is True
+        (row,) = report["compile"]
+        assert row["benchmark"] == "bv"
+        assert row["repeats"] == QUICK_PROFILE["repeats"]
+        assert row["min_s"] > 0
+        assert row["throughput_per_s"] == pytest.approx(1.0 / row["min_s"])
+        assert "fidelity" not in report
+        # The embedded telemetry window saw the compile spans and counters.
+        span_names = {entry["span"] for entry in report["telemetry"]["spans"]}
+        assert "compile.circuit" in span_names
+        assert (
+            report["telemetry"]["metrics"]["counters"]["compile.circuits"]
+            == QUICK_PROFILE["repeats"]
+        )
+        json.dumps(report)  # JSON-able end to end
+
+    def test_fidelity_rows_carry_trajectory_throughput(self):
+        report = run_bench(benchmarks=("bv",), quick=True, fidelity=True)
+        (row,) = report["fidelity"]
+        assert row["trajectories"] == 20
+        assert row["throughput_traj_per_s"] > 0
+        assert 0.0 <= row["state_fidelity"] <= 1.0
+        span_names = {entry["span"] for entry in report["telemetry"]["spans"]}
+        assert {"sim.run", "sim.batch"} <= span_names
+
+    def test_metrics_are_deltas_not_process_totals(self):
+        telemetry.counter("compile.circuits").inc(100)  # prior process activity
+        report = run_bench(benchmarks=("bv",), quick=True)
+        assert (
+            report["telemetry"]["metrics"]["counters"]["compile.circuits"]
+            == QUICK_PROFILE["repeats"]
+        )
+
+
+class TestCheckRegression:
+    def _report(self, throughput):
+        return {
+            "schema": BENCH_SCHEMA,
+            "compile": [
+                {"benchmark": "bv", "throughput_per_s": throughput},
+                {"benchmark": "ising", "throughput_per_s": 50.0},
+            ],
+        }
+
+    def test_within_tolerance_passes(self):
+        assert check_regression(self._report(80.0), self._report(100.0)) == []
+
+    def test_regression_beyond_tolerance_is_reported(self):
+        failures = check_regression(
+            self._report(70.0), self._report(100.0), tolerance=0.25
+        )
+        assert len(failures) == 1
+        assert failures[0].startswith("bv:")
+
+    def test_faster_than_baseline_passes(self):
+        assert check_regression(self._report(500.0), self._report(100.0)) == []
+
+    def test_benchmarks_missing_from_either_side_are_ignored(self):
+        current = {"schema": BENCH_SCHEMA, "compile": [{"benchmark": "qft", "throughput_per_s": 1.0}]}
+        assert check_regression(current, self._report(100.0)) == []
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            check_regression(self._report(1.0), {"schema": "other/v9"})
+
+
+class TestBenchMain:
+    def test_writes_report_and_prints_table(self, tmp_path, capsys):
+        exit_code = bench_main(
+            ["--quick", "--benchmarks", "bv", "--rev", "t1", "--output-dir", str(tmp_path)]
+        )
+        assert exit_code == 0
+        report = json.loads((tmp_path / "BENCH_t1.json").read_text())
+        assert report["schema"] == BENCH_SCHEMA
+        out = capsys.readouterr().out
+        assert "Compile throughput" in out
+        assert "BENCH_t1.json" in out
+
+    def test_check_gate_fails_on_regression(self, tmp_path, capsys):
+        baseline = {
+            "schema": BENCH_SCHEMA,
+            "compile": [{"benchmark": "bv", "throughput_per_s": 1e9}],
+        }
+        baseline_path = tmp_path / "BENCH_baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        exit_code = bench_main(
+            [
+                "--quick", "--benchmarks", "bv", "--rev", "t2",
+                "--output-dir", str(tmp_path), "--check", str(baseline_path),
+            ]
+        )
+        assert exit_code == 1
+        assert "REGRESSION: bv" in capsys.readouterr().out
+
+    def test_check_gate_passes_against_own_report(self, tmp_path, capsys):
+        assert bench_main(
+            ["--quick", "--benchmarks", "bv", "--rev", "base", "--output-dir", str(tmp_path)]
+        ) == 0
+        assert bench_main(
+            [
+                "--quick", "--benchmarks", "bv", "--rev", "next",
+                "--output-dir", str(tmp_path),
+                "--check", str(tmp_path / "BENCH_base.json"),
+                "--tolerance", "0.9",
+            ]
+        ) == 0
+        assert "within 90%" in capsys.readouterr().out

@@ -54,3 +54,12 @@ class TestGoldenOutput:
     def test_fidelity_table_output_matches_golden(self, tmp_path, capsys):
         assert main(FIDELITY_ARGS + ["--cache-dir", str(tmp_path)]) == 0
         check_golden("sweep_table_fidelity.txt", capsys.readouterr().out)
+
+    def test_telemetry_summarize_matches_golden(self, capsys):
+        # The input is a checked-in trace fixture with fixed durations, so
+        # the summary tables are deterministic end to end; only the absolute
+        # fixture path in the headline needs masking.
+        trace = GOLDEN_DIR / "trace_events.jsonl"
+        assert main(["telemetry", "summarize", str(trace)]) == 0
+        output = capsys.readouterr().out.replace(str(trace), "<TRACE>")
+        check_golden("telemetry_summary.txt", output)

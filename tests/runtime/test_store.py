@@ -41,6 +41,33 @@ class TestResultStore:
         assert store.get(KEY_A) is None
         assert KEY_A not in store  # membership agrees with get()
 
+    def test_corrupt_entries_are_counted_and_warned_once(self, tmp_path, caplog):
+        store = ResultStore(tmp_path)
+        path_a = store.put(KEY_A, {"x": 1})
+        store.put(KEY_B, {"x": 2})
+        path_a.write_text("{torn", encoding="utf-8")
+        store.path_for(KEY_B).write_text("{also torn", encoding="utf-8")
+        assert store.stats()["corrupt"] == 0  # stats scans never skew the count
+        with caplog.at_level("WARNING", logger="repro.runtime.store"):
+            assert store.get(KEY_A) is None
+            assert store.get(KEY_B) is None
+            assert store.get(KEY_A) is None
+        assert store.stats()["corrupt"] == 3
+        # One warning per store instance, naming the first offending path.
+        warnings = [r for r in caplog.records if r.levelname == "WARNING"]
+        assert len(warnings) == 1
+        assert str(path_a) in warnings[0].getMessage()
+
+    def test_fresh_instance_warns_again(self, tmp_path, caplog):
+        path = ResultStore(tmp_path).put(KEY_A, {"x": 1})
+        path.write_text("{torn", encoding="utf-8")
+        for _ in range(2):  # the warning is per instance, not per process
+            store = ResultStore(tmp_path)
+            with caplog.at_level("WARNING", logger="repro.runtime.store"):
+                assert store.get(KEY_A) is None
+            assert store.stats()["corrupt"] == 1
+        assert sum(r.levelname == "WARNING" for r in caplog.records) == 2
+
     def test_put_replaces_atomically(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put(KEY_A, {"x": 1})
@@ -70,6 +97,7 @@ class TestStatsAndPrune:
             "root": str(tmp_path),
             "entries": 0,
             "total_bytes": 0,
+            "corrupt": 0,
             "schema_versions": {},
         }
         self._put(store, KEY_A, schema=4)

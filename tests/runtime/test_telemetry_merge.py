@@ -1,0 +1,79 @@
+"""Parallel sweeps yield the same telemetry as serial ones (satellite of
+the observability PR): identical merged span trees modulo timing, and
+exactly equal metric counters."""
+
+import pytest
+
+from repro import telemetry
+from repro.runtime.dispatch import run_sweep
+from repro.runtime.spec import SweepGrid
+from repro.runtime.store import ResultStore
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def small_grid():
+    return SweepGrid(
+        benchmarks=("bv", "ising"),
+        backends=("opt8",),
+        num_qubits=6,
+        seeds=(0,),
+    )
+
+
+def tree_shape(node):
+    """A span-tree node reduced to its timing-free shape.
+
+    The ``workers`` attribute is the one annotation that legitimately
+    differs between a serial and a parallel run of the same grid.
+    """
+    return {
+        "name": node["name"],
+        "attrs": {k: v for k, v in node["attrs"].items() if k != "workers"},
+        "children": [tree_shape(child) for child in node["children"]],
+    }
+
+
+def run_and_snapshot(workers, store_dir):
+    telemetry.reset()
+    with telemetry.collecting():
+        run_sweep(small_grid(), store=ResultStore(store_dir), workers=workers)
+        tree = telemetry.span_tree()
+    metrics = telemetry.snapshot_metrics()
+    return tree, metrics
+
+
+class TestParallelTelemetryEquivalence:
+    def test_span_tree_and_counters_match_serial(self, tmp_path):
+        serial_tree, serial_metrics = run_and_snapshot(1, tmp_path / "serial")
+        parallel_tree, parallel_metrics = run_and_snapshot(2, tmp_path / "parallel")
+
+        # Same merged tree: worker spans re-parented under sweep.run in
+        # submission order reproduce the serial nesting exactly.
+        assert [tree_shape(root) for root in parallel_tree] == [
+            tree_shape(root) for root in serial_tree
+        ]
+
+        # Counters are merged additively from worker registries, so the
+        # parallel totals equal the serial ones *exactly*.
+        assert parallel_metrics["counters"] == serial_metrics["counters"]
+        assert parallel_metrics["counters"]["sweep.computed"] == 2
+
+        # Histogram sample counts merge exactly too (values differ in time).
+        serial_hists = serial_metrics["histograms"]
+        parallel_hists = parallel_metrics["histograms"]
+        assert set(parallel_hists) == set(serial_hists)
+        for name in serial_hists:
+            assert parallel_hists[name]["count"] == serial_hists[name]["count"]
+
+    def test_parallel_sweep_records_nothing_when_disabled(self, tmp_path):
+        telemetry.reset()
+        run_sweep(small_grid(), store=ResultStore(tmp_path), workers=2)
+        assert telemetry.snapshot_spans() == []
+        # Metrics stay on even while span recording is off.
+        assert telemetry.snapshot_metrics()["counters"]["sweep.jobs"] == 2

@@ -1,0 +1,124 @@
+"""Tests for the metrics registry and the trace/summary renderers."""
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.summary import aggregate_spans, summarize_metrics, summarize_spans
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_counter_identity_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+
+    def test_gauge_is_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("wall_s")
+        for value in (2.0, 1.0, 3.0):
+            histogram.observe(value)
+        assert histogram.summary() == {
+            "count": 3,
+            "total": 6.0,
+            "min": 1.0,
+            "max": 3.0,
+            "mean": 2.0,
+        }
+
+    def test_empty_histogram_has_no_mean(self):
+        assert MetricsRegistry().histogram("x").summary()["mean"] is None
+
+
+class TestRegistry:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(2)
+        registry.gauge("depth").set(7)
+        registry.histogram("wall_s").observe(0.5)
+        return registry
+
+    def test_snapshot_is_json_able_and_sorted(self):
+        registry = self._populated()
+        registry.counter("apples").inc()
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["apples", "jobs"]
+        assert snapshot["gauges"] == {"depth": 7.0}
+        assert snapshot["histograms"]["wall_s"]["count"] == 1
+
+    def test_merge_is_additive_for_counters_and_histograms(self):
+        parent, worker = self._populated(), self._populated()
+        worker.histogram("wall_s").observe(2.5)
+        parent.merge(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["jobs"] == 4
+        assert snapshot["histograms"]["wall_s"] == {
+            "count": 3,
+            "total": 3.5,
+            "min": 0.5,
+            "max": 2.5,
+            "mean": pytest.approx(3.5 / 3),
+        }
+
+    def test_merge_none_is_a_noop(self):
+        registry = self._populated()
+        registry.merge(None)
+        assert registry.snapshot()["counters"]["jobs"] == 2
+
+    def test_reset_drops_every_instrument(self):
+        registry = self._populated()
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestSummaries:
+    SPANS = [
+        {"name": "compile", "duration_s": 0.25},
+        {"name": "compile", "duration_s": 0.75},
+        {"name": "sim", "duration_s": 2.0},
+    ]
+
+    def test_aggregate_spans_buckets_by_name(self):
+        rows = aggregate_spans(self.SPANS)
+        assert [row["span"] for row in rows] == ["sim", "compile"]  # total desc
+        compile_row = rows[1]
+        assert compile_row["count"] == 2
+        assert compile_row["total_s"] == 1.0
+        assert compile_row["mean_s"] == 0.5
+        assert compile_row["max_s"] == 0.75
+
+    def test_summarize_spans_renders_fixed_precision_ms(self):
+        rows = summarize_spans(self.SPANS)
+        assert rows[0] == {
+            "span": "sim",
+            "count": 1,
+            "total_ms": "2000.000",
+            "mean_ms": "2000.000",
+            "max_ms": "2000.000",
+        }
+
+    def test_summarize_metrics_rows(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.histogram("wall_s").observe(0.5)
+        rows = summarize_metrics(registry.snapshot())
+        assert rows[0] == {"metric": "hits", "kind": "counter", "value": 3, "detail": ""}
+        assert rows[1]["kind"] == "histogram"
+        assert "mean=0.500000" in rows[1]["detail"]
+
+    def test_summarize_metrics_handles_empty(self):
+        assert summarize_metrics(None) == []
