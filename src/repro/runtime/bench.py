@@ -9,7 +9,8 @@ schema-versioned report (:data:`BENCH_SCHEMA`).
 :func:`bench_main` (the ``repro bench`` subcommand) writes the report to
 ``BENCH_<rev>.json`` — ``rev`` defaults to the short git revision — and can
 gate CI with ``--check BASELINE``: the run fails when any benchmark's
-compile throughput drops more than ``--tolerance`` (default 25%) below the
+compile throughput — or, for fidelity runs, its Monte-Carlo trajectory
+throughput — drops more than ``--tolerance`` (default 25%) below the
 committed baseline.
 
 Examples::
@@ -43,7 +44,7 @@ BENCH_SCHEMA = "repro-bench/v1"
 FULL_PROFILE = {"qubits": 16, "repeats": 7, "trajectories": 100, "traj_batch": 25, "sim_qubits": 10}
 # Quick compiles are a few milliseconds, so the regression gate needs several
 # repeats for a stable best-of time; seven keeps the whole suite under a second.
-QUICK_PROFILE = {"qubits": 8, "repeats": 7, "trajectories": 20, "traj_batch": 10, "sim_qubits": 6}
+QUICK_PROFILE = {"qubits": 8, "repeats": 7, "trajectories": 100, "traj_batch": 25, "sim_qubits": 6}
 
 
 def _metrics_delta(
@@ -190,33 +191,40 @@ def check_regression(
     baseline: Mapping[str, object],
     tolerance: float = 0.25,
 ) -> List[str]:
-    """Compile-throughput regressions of ``report`` against ``baseline``.
+    """Throughput regressions of ``report`` against ``baseline``.
 
-    Returns one message per benchmark whose throughput fell more than
-    ``tolerance`` (fractional) below the baseline's.  Benchmarks present in
-    only one report are ignored — adding or dropping a benchmark is not a
-    performance regression.
+    Both the compile stage (``throughput_per_s``) and — when both reports
+    carry fidelity rows — the trajectory stage (``throughput_traj_per_s``)
+    are gated.  Returns one message per benchmark/stage whose throughput fell
+    more than ``tolerance`` (fractional) below the baseline's.  Benchmarks
+    (or whole stages) present in only one report are ignored — adding or
+    dropping a benchmark is not a performance regression.
     """
     if baseline.get("schema") != BENCH_SCHEMA:
         raise ValueError(
             f"baseline schema {baseline.get('schema')!r} != {BENCH_SCHEMA!r}"
         )
-    current = {row["benchmark"]: row for row in report.get("compile") or []}
     failures = []
-    for base_row in baseline.get("compile") or []:
-        row = current.get(base_row["benchmark"])
-        if row is None:
-            continue
-        base_tp, new_tp = base_row.get("throughput_per_s"), row.get("throughput_per_s")
-        if not base_tp or not new_tp:
-            continue
-        floor = base_tp * (1.0 - tolerance)
-        if new_tp < floor:
-            failures.append(
-                f"{row['benchmark']}: compile throughput {new_tp:.2f}/s is "
-                f"{(1.0 - new_tp / base_tp) * 100.0:.0f}% below baseline "
-                f"{base_tp:.2f}/s (tolerance {tolerance * 100.0:.0f}%)"
-            )
+    stages = (
+        ("compile", "throughput_per_s", "compile throughput"),
+        ("fidelity", "throughput_traj_per_s", "trajectory throughput"),
+    )
+    for section, column, label in stages:
+        current = {row["benchmark"]: row for row in report.get(section) or []}
+        for base_row in baseline.get(section) or []:
+            row = current.get(base_row["benchmark"])
+            if row is None:
+                continue
+            base_tp, new_tp = base_row.get(column), row.get(column)
+            if not base_tp or not new_tp:
+                continue
+            floor = base_tp * (1.0 - tolerance)
+            if new_tp < floor:
+                failures.append(
+                    f"{row['benchmark']}: {label} {new_tp:.2f}/s is "
+                    f"{(1.0 - new_tp / base_tp) * 100.0:.0f}% below baseline "
+                    f"{base_tp:.2f}/s (tolerance {tolerance * 100.0:.0f}%)"
+                )
     return failures
 
 
@@ -294,8 +302,8 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--check", default=None, metavar="BASELINE",
-        help="fail (exit 1) if compile throughput regresses below this "
-        "BENCH_*.json baseline by more than --tolerance",
+        help="fail (exit 1) if compile or trajectory throughput regresses "
+        "below this BENCH_*.json baseline by more than --tolerance",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.25, metavar="FRAC",

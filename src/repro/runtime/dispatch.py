@@ -230,8 +230,14 @@ def run_sweep(
 
         payloads = _group_payloads(specs, keys, missing_indices)
         collect_spans = telemetry.enabled()
+        # A sweep that collapses to one compile group (or runs serially with a
+        # worker budget) hands its workers down to the group's own trajectory
+        # batches instead of leaving them idle; pooled groups keep their
+        # simulations in-process so process pools never nest.
+        in_process = workers == 1 or len(payloads) == 1
         for payload in payloads:
             payload["telemetry"] = collect_spans
+            payload["sim_workers"] = workers if in_process else 1
 
         def persist(batch: Sequence[Dict[str, object]]) -> None:
             for result_dict in batch:

@@ -138,7 +138,9 @@ class JobResult:
         )
 
 
-def _fidelity_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, object]:
+def _fidelity_row(
+    spec: ExperimentSpec, compiled: CompiledCircuit, sim_workers: int = 1
+) -> Dict[str, object]:
     """Monte-Carlo fidelity columns for one job (``spec.fidelity`` is set).
 
     The *physical* compiled circuit is simulated: SWAP insertion, basis
@@ -146,7 +148,9 @@ def _fidelity_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, 
     they shape the timing columns.  The noise model comes from the backend:
     calibrated backends contribute their target's frozen rates, sampled
     backends draw a device from the variability model pinned by
-    ``noise_seed``; the trajectory randomness is pinned by the job seed.
+    ``noise_seed``; the trajectory randomness is pinned by the job seed (and
+    unaffected by ``sim_workers``, which only fans batches out when the
+    dispatcher runs this job in-process instead of inside a pooled worker).
     """
     options = spec.fidelity
     num_physical = compiled.coupling.num_qubits
@@ -168,12 +172,14 @@ def _fidelity_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, 
         num_trajectories=options.trajectories,
         seed=spec.seed,
         batch_size=options.batch_size,
-        workers=1,  # already inside a dispatcher worker process
+        workers=max(1, sim_workers),
     )
     return result.as_row()
 
 
-def _result_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, object]:
+def _result_row(
+    spec: ExperimentSpec, compiled: CompiledCircuit, sim_workers: int = 1
+) -> Dict[str, object]:
     """The Fig. 9 row for one (compiled benchmark, backend) pair, with compile stats."""
     estimate = normalized_execution_time(compiled, spec.config, benchmark_name=spec.benchmark)
     row = estimate.as_row()
@@ -191,7 +197,7 @@ def _result_row(spec: ExperimentSpec, compiled: CompiledCircuit) -> Dict[str, ob
         }
     )
     if spec.fidelity is not None:
-        row.update(_fidelity_row(spec, compiled))
+        row.update(_fidelity_row(spec, compiled, sim_workers=sim_workers))
     return row
 
 
@@ -219,6 +225,7 @@ def execute_spec(
     spec: ExperimentSpec,
     key: Optional[str] = None,
     compiled: Optional[CompiledCircuit] = None,
+    sim_workers: int = 1,
 ) -> JobResult:
     """Execute exactly one job; the circuit-level execution door.
 
@@ -238,6 +245,12 @@ def execute_spec(
     compiled:
         A compilation of the spec's circuit to reuse; when omitted the spec
         is compiled here and the compile time is included in ``elapsed_s``.
+    sim_workers:
+        Worker budget for the job's own trajectory batches.  ``1`` (the
+        default) keeps the simulation in-process — mandatory inside a pooled
+        dispatcher worker; the dispatcher grants more only when it executes
+        the job in the parent process.  Never changes the result, only how
+        the batches are scheduled.
     """
     start = time.perf_counter()
     with telemetry.span(
@@ -248,7 +261,7 @@ def execute_spec(
     ):
         if compiled is None:
             compiled = compile_spec(spec)
-        row = _result_row(spec, compiled)
+        row = _result_row(spec, compiled, sim_workers=sim_workers)
     elapsed = time.perf_counter() - start
     return JobResult(
         key=key if key is not None else job_key(spec),
@@ -273,8 +286,10 @@ def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]
     All jobs of one group share a device topology (the dispatcher groups by
     :attr:`Backend.compile_key`), so the circuit is built and compiled
     exactly once; each job then only pays for SIMD scheduling under its own
-    backend.  Returns the stored-form result dicts in the payload's job
-    order.
+    backend.  An optional ``"sim_workers"`` entry (set by the dispatcher when
+    it runs the group in-process) grants each job's trajectory run a worker
+    pool of its own; pooled groups leave it at 1 so pools never nest.
+    Returns the stored-form result dicts in the payload's job order.
     """
     options = CompileOptions(**payload["compile"])
     circuit_data = payload.get("circuit")
@@ -301,9 +316,13 @@ def execute_compile_group(payload: Dict[str, object]) -> List[Dict[str, object]]
         compiled = compile_spec(group_spec(payload["jobs"][0]))
         compile_elapsed = time.perf_counter() - start
 
+        sim_workers = int(payload.get("sim_workers", 1))
         results: List[Dict[str, object]] = []
         for index, job in enumerate(payload["jobs"]):
-            result = execute_spec(group_spec(job), key=job["key"], compiled=compiled)
+            result = execute_spec(
+                group_spec(job), key=job["key"], compiled=compiled,
+                sim_workers=sim_workers,
+            )
             # Attribute the shared compile cost to the group's first job so the
             # summed elapsed time of a sweep reflects real work done.
             if index == 0:

@@ -6,18 +6,30 @@ stochastic error rates (sampled from :class:`~repro.noise.variability.Variabilit
 or lifted from the Fig. 10 reports in :mod:`repro.core.errors`), and
 :func:`run_trajectories` estimates a circuit's success probability and state
 fidelity over seeded, batched Monte-Carlo trajectories — serially or across
-a process pool, with bit-identical results either way.
+a process pool, with bit-identical results either way.  Clifford-only
+circuits automatically take the exact stabilizer/Pauli-frame fast path of
+:mod:`repro.simulation.stabilizer`, which has no ``2**n`` arrays at all.
 """
 
 from .channels import DEFAULT_CZ_ERROR, DEFAULT_SINGLE_QUBIT_ERROR, NoiseModel
 from .engine import benchmark_fidelity, run_trajectories
+from .stabilizer import (
+    StabilizerScorer,
+    StabilizerTableau,
+    advance_pauli_frames,
+    build_scorer,
+    is_clifford_circuit,
+    is_clifford_gate,
+)
 from .trajectories import (
     DEFAULT_BATCH_SIZE,
     FusedOp,
+    TrajectoryPlan,
     TrajectoryResult,
     advance_noisy_batch,
     apply_fused_ops,
     batch_sizes,
+    build_trajectory_plan,
     fuse_circuit,
     ideal_final_state,
     noisy_trajectory_states,
@@ -32,13 +44,21 @@ __all__ = [
     "DEFAULT_SINGLE_QUBIT_ERROR",
     "FusedOp",
     "NoiseModel",
+    "StabilizerScorer",
+    "StabilizerTableau",
+    "TrajectoryPlan",
     "TrajectoryResult",
     "advance_noisy_batch",
+    "advance_pauli_frames",
     "apply_fused_ops",
     "batch_sizes",
     "benchmark_fidelity",
+    "build_scorer",
+    "build_trajectory_plan",
     "fuse_circuit",
     "ideal_final_state",
+    "is_clifford_circuit",
+    "is_clifford_gate",
     "noisy_trajectory_states",
     "run_trajectories",
     "run_trajectory_batch",

@@ -154,9 +154,18 @@ class NoiseModel:
         )
 
     def kick_cumulative_weights(self) -> np.ndarray:
-        """Cumulative normalized Pauli weights, for vectorized kick selection."""
+        """Cumulative normalized Pauli weights, for vectorized kick selection.
+
+        The last entry is pinned to exactly 1.0: float accumulation can leave
+        ``cumsum(...)[-1]`` a few ulp below 1, and a uniform draw landing in
+        that gap would ``searchsorted`` to index 3 — outside the Pauli table —
+        silently dropping the kick.  The kernel additionally clips its picks,
+        so either defence alone closes the edge case.
+        """
         weights = np.asarray(self.pauli_weights, dtype=float)
-        return np.cumsum(weights / weights.sum())
+        cumulative = np.cumsum(weights / weights.sum())
+        cumulative[-1] = 1.0
+        return cumulative
 
     # -- constructors -------------------------------------------------------------
 

@@ -1,18 +1,30 @@
 """Parallel trajectory dispatch over a ``ProcessPoolExecutor``.
 
 :func:`run_trajectories` is the front door of the simulation subsystem: it
-fuses the circuit once, derives one child seed per trajectory batch from a
-single :class:`numpy.random.SeedSequence`, and runs the batches either
-in-process or on a worker pool (the same dispatch shape as
+builds one :class:`~repro.simulation.trajectories.TrajectoryPlan` (fusing the
+circuit once), derives one child seed per trajectory batch from a single
+:class:`numpy.random.SeedSequence`, and runs the batches either in-process or
+on a worker pool (the same dispatch shape as
 :func:`repro.runtime.dispatch.run_sweep`).  Batches are re-assembled in spawn
 order, so the merged result is bit-identical for any worker count — the
 parallel/serial-identical guarantee the determinism tests pin down.
+
+For the dense statevector kernel, the plan's large arrays — the ideal
+``(2**n,)`` statevector and every fused-op matrix — are shipped to the pool
+through one ``multiprocessing.shared_memory`` block instead of being pickled
+into every batch payload: workers attach once per process, rebuild the plan
+as zero-copy views, and cache it for subsequent batches.  Payloads shrink to
+a name plus per-batch seeds, which is what keeps ``workers > 1`` profitable
+for the register sizes where re-pickling ``2**n`` complex amplitudes per
+batch used to eat the speedup.  Stabilizer-mode plans are a few bit-matrices
+and pickle in constant size, so they take the plain payload path.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,20 +34,128 @@ from .channels import NoiseModel
 from .trajectories import (
     DEFAULT_BATCH_SIZE,
     FusedOp,
+    TrajectoryPlan,
     TrajectoryResult,
     run_trajectory_batch,
     trajectory_batch_payloads,
 )
 
+#: Byte alignment of arrays inside the shared block (complex128 itemsize).
+_SHM_ALIGN = 16
+
 
 def _run_batch(
-    payload: Tuple[Sequence[FusedOp], int, int, np.random.SeedSequence, np.ndarray, np.ndarray],
+    payload: Tuple[TrajectoryPlan, int, np.random.SeedSequence],
 ) -> TrajectoryResult:
     """Worker-process entry point: one seeded trajectory batch."""
-    ops, num_qubits, size, child_seed, ideal, cumweights = payload
-    return run_trajectory_batch(
-        ops, num_qubits, size, np.random.default_rng(child_seed), ideal, cumweights
+    plan, size, child_seed = payload
+    return run_trajectory_batch(plan, size, np.random.default_rng(child_seed))
+
+
+def _pack_shared_plan(
+    plan: TrajectoryPlan,
+) -> Tuple[shared_memory.SharedMemory, Dict[str, object]]:
+    """Copy a statevector plan's arrays into one shared-memory block.
+
+    Returns the block (caller owns close+unlink) and a small picklable spec
+    from which :func:`_plan_from_shared` rebuilds the plan as zero-copy views.
+    """
+    arrays: List[np.ndarray] = [plan.ideal_state, plan.kick_cumweights]
+    arrays += [op.matrix for op in plan.ops]
+
+    offsets: List[int] = []
+    total = 0
+    for array in arrays:
+        total = (total + _SHM_ALIGN - 1) // _SHM_ALIGN * _SHM_ALIGN
+        offsets.append(total)
+        total += array.nbytes
+    block = shared_memory.SharedMemory(create=True, size=max(total, 1))
+
+    def place(array: np.ndarray, offset: int) -> Tuple[int, str, Tuple[int, ...]]:
+        destination = np.frombuffer(
+            block.buf, dtype=array.dtype, count=array.size, offset=offset
+        ).reshape(array.shape)
+        destination[...] = array
+        return (offset, array.dtype.str, array.shape)
+
+    try:
+        placed = [place(array, offset) for array, offset in zip(arrays, offsets)]
+        spec: Dict[str, object] = {
+            "num_qubits": plan.num_qubits,
+            "ideal": placed[0],
+            "cumweights": placed[1],
+            "ops": [
+                (op.qubits, op.kick_probs, op.gates, matrix_spec)
+                for op, matrix_spec in zip(plan.ops, placed[2:])
+            ],
+        }
+    except Exception:
+        block.close()
+        block.unlink()
+        raise
+    return block, spec
+
+
+def _plan_from_shared(
+    block: shared_memory.SharedMemory, spec: Dict[str, object]
+) -> TrajectoryPlan:
+    """Rebuild a statevector plan as zero-copy views into a shared block."""
+
+    def view(array_spec: Tuple[int, str, Tuple[int, ...]]) -> np.ndarray:
+        offset, dtype, shape = array_spec
+        count = int(np.prod(shape)) if shape else 1
+        return np.frombuffer(
+            block.buf, dtype=np.dtype(dtype), count=count, offset=offset
+        ).reshape(shape)
+
+    ops = tuple(
+        FusedOp(view(matrix_spec), tuple(qubits), tuple(kick_probs), tuple(gates))
+        for qubits, kick_probs, gates, matrix_spec in spec["ops"]
     )
+    return TrajectoryPlan(
+        num_qubits=spec["num_qubits"],
+        ops=ops,
+        kick_cumweights=view(spec["cumweights"]),
+        mode="statevector",
+        ideal_state=view(spec["ideal"]),
+    )
+
+
+#: Per-worker-process cache of attached shared plans, keyed by block name.
+#: Pool workers run many batches of the same plan; attaching and rebuilding
+#: once per process (instead of once per batch) keeps the payload overhead at
+#: a dictionary lookup.  Blocks stay mapped until the worker exits, which is
+#: bounded by the pool's lifetime; the parent owns unlinking.
+_ATTACHED_PLANS: Dict[str, Tuple[shared_memory.SharedMemory, TrajectoryPlan]] = {}
+
+
+def _run_batch_shared(
+    payload: Tuple[str, Dict[str, object], int, np.random.SeedSequence],
+) -> TrajectoryResult:
+    """Worker-process entry point: one batch against a shared-memory plan."""
+    name, spec, size, child_seed = payload
+    cached = _ATTACHED_PLANS.get(name)
+    if cached is None:
+        block = shared_memory.SharedMemory(name=name)
+        # Under the spawn start method, attaching registers the (already
+        # parent-tracked) block with this worker's *own* resource tracker,
+        # which would warn and double-unlink at worker exit; the parent owns
+        # the block's lifetime, so unregister here.  Forked workers share the
+        # parent's tracker (whose registry is a set, so the attach was a
+        # no-op) and must NOT unregister, or the parent's entry vanishes.
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=True) not in (None, "fork"):
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(block._name, "shared_memory")
+            except Exception:
+                pass
+        cached = (block, _plan_from_shared(block, spec))
+        _ATTACHED_PLANS[name] = cached
+    _block, plan = cached
+    return run_trajectory_batch(plan, size, np.random.default_rng(child_seed))
 
 
 def run_trajectories(
@@ -45,6 +165,7 @@ def run_trajectories(
     seed: int = 0,
     batch_size: int = DEFAULT_BATCH_SIZE,
     workers: int = 1,
+    mode: str = "auto",
 ) -> TrajectoryResult:
     """Monte-Carlo trajectory estimate of a circuit's end-to-end fidelity.
 
@@ -64,13 +185,20 @@ def run_trajectories(
         Trajectories advanced in lockstep per batch.
     workers:
         ``1`` runs batches serially in-process; ``> 1`` fans them out over a
-        ``ProcessPoolExecutor`` of that size.
+        ``ProcessPoolExecutor`` of that size (statevector plans travel once
+        through shared memory instead of being pickled per batch).
+    mode:
+        Kernel selection, forwarded to
+        :func:`~repro.simulation.trajectories.build_trajectory_plan`:
+        ``"auto"`` (stabilizer fast path for Clifford-only circuits),
+        ``"statevector"``, or ``"stabilizer"``.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     payloads = trajectory_batch_payloads(
-        circuit, noise, num_trajectories, seed=seed, batch_size=batch_size
+        circuit, noise, num_trajectories, seed=seed, batch_size=batch_size, mode=mode
     )
+    plan = payloads[0][0]
 
     parts: List[TrajectoryResult]
     with telemetry.span(
@@ -79,21 +207,53 @@ def run_trajectories(
         trajectories=num_trajectories,
         batches=len(payloads),
         workers=workers,
+        mode=plan.mode,
     ):
         if workers == 1 or len(payloads) == 1:
             # In-process batches record their own sim.batch kernel spans,
             # nested under this one (the path fidelity sweep jobs take).
             parts = [_run_batch(payload) for payload in payloads]
         else:
-            with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-                # pool.map preserves submission order, so the merge below sees
-                # batches exactly as the serial path would.  Batch kernel
-                # spans recorded inside these short-lived workers are not
-                # shipped back; the sweep dispatcher (which runs trajectories
-                # with workers=1 inside its own pooled processes) is the
-                # cross-process telemetry boundary.
-                parts = list(pool.map(_run_batch, payloads))
+            parts = _run_pooled(plan, payloads, workers)
     return TrajectoryResult.merge(parts)
+
+
+def _run_pooled(
+    plan: TrajectoryPlan,
+    payloads: Sequence[Tuple[TrajectoryPlan, int, np.random.SeedSequence]],
+    workers: int,
+) -> List[TrajectoryResult]:
+    """Fan batches out over a process pool, sharing the plan when it pays.
+
+    ``pool.map`` preserves submission order, so the merge sees batches
+    exactly as the serial path would.  Batch kernel spans recorded inside
+    these short-lived workers are not shipped back; the sweep dispatcher
+    (which runs trajectories with ``workers=1`` inside its own pooled
+    processes) is the cross-process telemetry boundary.
+    """
+    max_workers = min(workers, len(payloads))
+    block: Optional[shared_memory.SharedMemory] = None
+    if plan.mode == "statevector":
+        try:
+            block, spec = _pack_shared_plan(plan)
+        except Exception:
+            # Shared memory can be unavailable (e.g. /dev/shm restrictions);
+            # fall back to pickling the plan into every payload.
+            block = None
+    try:
+        if block is not None:
+            telemetry.counter("sim.shm_bytes").inc(block.size)
+            shared_payloads = [
+                (block.name, spec, size, child) for _plan, size, child in payloads
+            ]
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(_run_batch_shared, shared_payloads))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(_run_batch, payloads))
+    finally:
+        if block is not None:
+            block.close()
+            block.unlink()
 
 
 def benchmark_fidelity(
@@ -103,6 +263,7 @@ def benchmark_fidelity(
     seed: int = 0,
     batch_size: int = DEFAULT_BATCH_SIZE,
     workers: int = 1,
+    mode: str = "auto",
 ) -> TrajectoryResult:
     """Convenience wrapper: uniform-noise trajectory run of one benchmark."""
     noise = noise or NoiseModel.uniform(circuit.num_qubits)
@@ -113,4 +274,5 @@ def benchmark_fidelity(
         seed=seed,
         batch_size=batch_size,
         workers=workers,
+        mode=mode,
     )

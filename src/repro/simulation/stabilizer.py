@@ -1,0 +1,479 @@
+"""Clifford/stabilizer fast path for Monte-Carlo trajectory simulation.
+
+When a circuit is Clifford-only, a noisy Pauli-kick trajectory never needs a
+dense statevector: a kick ``P`` injected mid-circuit propagates through the
+remaining Clifford gates as another Pauli (``C P C†``), so each trajectory is
+fully described by a *Pauli frame* — two bits per qubit — advanced by cheap
+XOR rules.  Scoring is exact:
+
+* state fidelity ``|<psi|E|psi>|^2`` of a Pauli error ``E`` against a
+  stabilizer state is 1 when ``E`` commutes with every stabilizer generator
+  (then ``E`` is, up to phase, *in* the stabilizer group) and 0 otherwise;
+* the success probability ``|<b|E|psi>|^2`` of a basis outcome ``b`` is
+  ``2**-(n - m)`` — ``m`` the number of independent Z-type stabilizers —
+  when ``b`` lies in the support of ``E|psi>``, else 0.
+
+Both reduce to GF(2) linear algebra against the *ideal* circuit's stabilizer
+tableau (Aaronson & Gottesman, quant-ph/0406196), computed once per circuit
+by :class:`StabilizerTableau` and packaged as a :class:`StabilizerScorer`.
+Per-trajectory cost is O(gates + n^2) bit operations with no ``2**n`` arrays
+anywhere, which is what lets Clifford-dominated benchmarks (Bernstein-
+Vazirani above all) run far past the 24-qubit statevector ceiling.
+
+The trajectory engine (:mod:`repro.simulation.trajectories`) selects this
+path automatically via :func:`is_clifford_circuit`; the random-kick draws are
+consumed in exactly the same order as the dense kernel, so for circuits both
+paths can simulate, they inject identical kicks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gate import Gate
+
+#: Gate names that are Clifford for every parameter-free instance.
+CLIFFORD_GATE_NAMES = frozenset(
+    {"id", "x", "y", "z", "h", "s", "sdg", "sx", "cx", "cz", "swap"}
+)
+
+
+def _half_turns(angle: float) -> Optional[int]:
+    """``angle / (pi/2)`` as an integer mod 4, or ``None`` if not a multiple."""
+    turns = angle / (math.pi / 2.0)
+    nearest = round(turns)
+    if abs(turns - nearest) > 1e-9:
+        return None
+    return int(nearest) % 4
+
+
+def clifford_primitives(gate: Gate) -> Optional[Tuple[Tuple[str, Tuple[int, ...]], ...]]:
+    """Decompose a gate into tableau primitives ``h``/``s``/``cx``.
+
+    Returns ``None`` when the gate is not recognisably Clifford.  Rotation
+    gates (``rz``, ``p``, ``cp``) are Clifford exactly when their angle is a
+    multiple of pi/2 (pi for ``cp``); global phases are irrelevant to
+    tableau conjugation, so e.g. ``rz(pi/2)`` maps to ``s`` directly.
+    """
+    name = gate.name
+    qubits = gate.qubits
+    if name == "id":
+        return ()
+    if name == "h":
+        return (("h", qubits),)
+    if name == "s":
+        return (("s", qubits),)
+    if name == "sdg":
+        return (("s", qubits),) * 3
+    if name == "z":
+        return (("s", qubits),) * 2
+    if name == "x":
+        return (("h", qubits), ("s", qubits), ("s", qubits), ("h", qubits))
+    if name == "y":
+        # Y ~ Z . X up to global phase: the X sequence followed by the Z one.
+        return (
+            ("h", qubits), ("s", qubits), ("s", qubits), ("h", qubits),
+            ("s", qubits), ("s", qubits),
+        )
+    if name == "sx":
+        # sqrt(X) = H S H exactly.
+        return (("h", qubits), ("s", qubits), ("h", qubits))
+    if name == "cx":
+        return (("cx", qubits),)
+    if name == "cz":
+        a, b = qubits
+        return (("h", (b,)), ("cx", (a, b)), ("h", (b,)))
+    if name == "swap":
+        a, b = qubits
+        return (("cx", (a, b)), ("cx", (b, a)), ("cx", (a, b)))
+    if name in ("rz", "p"):
+        turns = _half_turns(gate.params[0])
+        if turns is None:
+            return None
+        return (("s", qubits),) * turns
+    if name == "cp":
+        turns = _half_turns(gate.params[0])
+        if turns == 0:
+            return ()
+        if turns == 2:  # cp(pi) == cz
+            a, b = qubits
+            return (("h", (b,)), ("cx", (a, b)), ("h", (b,)))
+        return None
+    return None
+
+
+def is_clifford_gate(gate: Gate) -> bool:
+    """True when the gate has a tableau decomposition."""
+    return clifford_primitives(gate) is not None
+
+
+def is_clifford_circuit(circuit: QuantumCircuit) -> bool:
+    """True when every gate of the circuit is Clifford."""
+    return all(is_clifford_gate(gate) for gate in circuit)
+
+
+def _pauli_product_phase(
+    x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray
+) -> int:
+    """Summed Aaronson-Gottesman ``g`` function: the i-power picked up per
+    qubit when multiplying the Pauli ``(x1, z1)`` onto ``(x2, z2)``."""
+    x1 = x1.astype(np.int64)
+    z1 = z1.astype(np.int64)
+    x2 = x2.astype(np.int64)
+    z2 = z2.astype(np.int64)
+    g = np.zeros_like(x1)
+    is_y = (x1 == 1) & (z1 == 1)
+    is_x = (x1 == 1) & (z1 == 0)
+    is_z = (x1 == 0) & (z1 == 1)
+    np.copyto(g, z2 - x2, where=is_y)
+    np.copyto(g, z2 * (2 * x2 - 1), where=is_x)
+    np.copyto(g, x2 * (1 - 2 * z2), where=is_z)
+    return int(g.sum())
+
+
+class StabilizerTableau:
+    """Full Aaronson-Gottesman tableau: n destabilizers + n stabilizers.
+
+    Rows ``0..n-1`` are destabilizer generators, rows ``n..2n-1`` stabilizer
+    generators; ``x``/``z`` hold the symplectic bits, ``r`` the sign bit
+    (1 means the generator carries a ``-`` sign).  Starts in ``|0...0>``.
+    """
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise ValueError("a tableau needs at least one qubit")
+        n = self.num_qubits = int(num_qubits)
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        self.x[:n] = np.eye(n, dtype=np.uint8)  # destabilizers X_i
+        self.z[n:] = np.eye(n, dtype=np.uint8)  # stabilizers Z_i
+
+    def copy(self) -> "StabilizerTableau":
+        other = StabilizerTableau.__new__(StabilizerTableau)
+        other.num_qubits = self.num_qubits
+        other.x = self.x.copy()
+        other.z = self.z.copy()
+        other.r = self.r.copy()
+        return other
+
+    # -- Clifford primitives ------------------------------------------------------
+
+    def _h(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def _s(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def _cx(self, control: int, target: int) -> None:
+        self.r ^= (
+            self.x[:, control]
+            & self.z[:, target]
+            & (self.x[:, target] ^ self.z[:, control] ^ 1)
+        )
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply a library gate (must be Clifford)."""
+        primitives = clifford_primitives(gate)
+        if primitives is None:
+            raise ValueError(f"gate '{gate.name}' is not Clifford")
+        for name, qubits in primitives:
+            if name == "h":
+                self._h(qubits[0])
+            elif name == "s":
+                self._s(qubits[0])
+            else:
+                self._cx(qubits[0], qubits[1])
+
+    def apply_circuit(self, circuit: QuantumCircuit) -> "StabilizerTableau":
+        for gate in circuit:
+            self.apply_gate(gate)
+        return self
+
+    # -- products -----------------------------------------------------------------
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row ``h`` := (row ``i``) * (row ``h``), with exact sign tracking."""
+        phase = (
+            2 * int(self.r[h])
+            + 2 * int(self.r[i])
+            + _pauli_product_phase(self.x[i], self.z[i], self.x[h], self.z[h])
+        ) % 4
+        self.r[h] = phase // 2  # phase is 0 or 2 for real Pauli products
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    # -- measurement --------------------------------------------------------------
+
+    def measure_prefer_zero(self, q: int) -> int:
+        """Measure qubit ``q`` in the computational basis, choosing outcome 0
+        whenever the outcome is random.  Mutates the tableau."""
+        n = self.num_qubits
+        pivot = None
+        for row in range(n, 2 * n):
+            if self.x[row, q]:
+                pivot = row
+                break
+        if pivot is not None:
+            # Random outcome: condition the state on measuring 0.
+            for row in range(2 * n):
+                if row != pivot and self.x[row, q]:
+                    self._rowsum(row, pivot)
+            self.x[pivot - n] = self.x[pivot]
+            self.z[pivot - n] = self.z[pivot]
+            self.r[pivot - n] = self.r[pivot]
+            self.x[pivot] = 0
+            self.z[pivot] = 0
+            self.z[pivot, q] = 1
+            self.r[pivot] = 0  # +Z_q: outcome 0
+            return 0
+        # Deterministic outcome: accumulate the stabilizer product that equals
+        # +/- Z_q into a scratch row.
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        scratch_r = 0
+        for row in range(n):
+            if self.x[row, q]:
+                stab = row + n
+                phase = (
+                    2 * scratch_r
+                    + 2 * int(self.r[stab])
+                    + _pauli_product_phase(self.x[stab], self.z[stab], scratch_x, scratch_z)
+                ) % 4
+                scratch_r = phase // 2
+                scratch_x ^= self.x[stab]
+                scratch_z ^= self.z[stab]
+        return int(scratch_r)
+
+
+def dominant_stabilizer_bits(tableau: StabilizerTableau) -> np.ndarray:
+    """Per-qubit bits of the smallest-index basis state in the support.
+
+    This matches the dense simulator's ``argmax`` dominant outcome on states
+    whose support amplitudes share one magnitude (always true of stabilizer
+    states, up to float noise): ``np.argmax`` breaks the tie toward the
+    smallest basis index, and measuring qubits from most to least significant
+    while preferring 0 lands exactly there.
+    """
+    scratch = tableau.copy()
+    n = scratch.num_qubits
+    bits = np.zeros(n, dtype=np.uint8)
+    for q in range(n - 1, -1, -1):
+        bits[q] = scratch.measure_prefer_zero(q)
+    return bits
+
+
+@dataclass(frozen=True)
+class StabilizerScorer:
+    """Precomputed scoring data of one ideal Clifford circuit.
+
+    ``gen_x``/``gen_z`` are the ideal state's stabilizer generators;
+    ``z_combos``/``z_vectors``/``z_signs`` describe a basis of the Z-type
+    stabilizer subgroup (each row a generator-combination vector, its Z
+    bits, and its sign); ``dominant_bits`` is the noiseless dominant
+    measurement outcome and ``ideal_success`` its probability ``2**-(n-m)``.
+    """
+
+    num_qubits: int
+    gen_x: np.ndarray
+    gen_z: np.ndarray
+    z_combos: np.ndarray
+    z_vectors: np.ndarray
+    z_signs: np.ndarray
+    dominant_bits: np.ndarray
+    ideal_success: float
+
+    @property
+    def dominant_index(self) -> int:
+        """Basis index of the dominant outcome (little-endian bits)."""
+        return int(sum(int(bit) << q for q, bit in enumerate(self.dominant_bits)))
+
+    @property
+    def dominant_bitstring(self) -> str:
+        """The dominant outcome as a bitstring with qubit 0 rightmost."""
+        return "".join(str(int(bit)) for bit in reversed(self.dominant_bits))
+
+    def score(self, frame_x: np.ndarray, frame_z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fidelity and success probability of a batch of Pauli frames.
+
+        ``frame_x``/``frame_z`` have shape ``(batch, n)``.  A frame's final
+        state is ``E|psi>``: fidelity is 1 exactly when ``E`` commutes with
+        every stabilizer generator; the dominant outcome keeps probability
+        ``ideal_success`` exactly when ``E`` leaves every Z-type stabilizer's
+        sign unchanged, else 0.
+        """
+        anticommute = (
+            frame_x.astype(np.int64) @ self.gen_z.T.astype(np.int64)
+            + frame_z.astype(np.int64) @ self.gen_x.T.astype(np.int64)
+        ) % 2
+        fidelities = (anticommute.sum(axis=1) == 0).astype(float)
+        if self.z_combos.shape[0]:
+            sign_flips = (anticommute @ self.z_combos.T.astype(np.int64)) % 2
+            compatible = (sign_flips == 0).all(axis=1)
+        else:
+            compatible = np.ones(frame_x.shape[0], dtype=bool)
+        return fidelities, compatible.astype(float) * self.ideal_success
+
+
+def build_scorer(circuit: QuantumCircuit) -> StabilizerScorer:
+    """Run the ideal circuit on a tableau and package the scoring data."""
+    n = circuit.num_qubits
+    tableau = StabilizerTableau(n).apply_circuit(circuit)
+    dominant = dominant_stabilizer_bits(tableau)
+
+    # Gaussian-eliminate the stabilizer X block over GF(2), tracking the
+    # combination of generators each row is; rows whose X part vanishes span
+    # the Z-type subgroup.
+    x = tableau.x[n:].copy()
+    z = tableau.z[n:].copy()
+    r = tableau.r[n:].copy()
+    combos = np.eye(n, dtype=np.uint8)
+    pivot_rows = set()
+    for column in range(n):
+        pivot = next(
+            (row for row in range(n) if row not in pivot_rows and x[row, column]),
+            None,
+        )
+        if pivot is None:
+            continue
+        pivot_rows.add(pivot)
+        for row in range(n):
+            if row != pivot and x[row, column]:
+                phase = (
+                    2 * int(r[row])
+                    + 2 * int(r[pivot])
+                    + _pauli_product_phase(x[pivot], z[pivot], x[row], z[row])
+                ) % 4
+                r[row] = phase // 2
+                x[row] ^= x[pivot]
+                z[row] ^= z[pivot]
+                combos[row] ^= combos[pivot]
+
+    z_rows = [row for row in range(n) if not x[row].any()]
+    z_combos = combos[z_rows] if z_rows else np.zeros((0, n), dtype=np.uint8)
+    z_vectors = z[z_rows] if z_rows else np.zeros((0, n), dtype=np.uint8)
+    z_signs = r[z_rows] if z_rows else np.zeros(0, dtype=np.uint8)
+    num_z = len(z_rows)
+
+    # Sanity: the dominant outcome must satisfy every Z-type stabilizer.
+    if num_z and np.any((z_vectors @ dominant.astype(np.int64) + z_signs) % 2):
+        raise AssertionError("dominant outcome is outside the stabilizer support")
+
+    return StabilizerScorer(
+        num_qubits=n,
+        gen_x=np.ascontiguousarray(tableau.x[n:]),
+        gen_z=np.ascontiguousarray(tableau.z[n:]),
+        z_combos=z_combos,
+        z_vectors=z_vectors,
+        z_signs=z_signs,
+        dominant_bits=dominant,
+        ideal_success=2.0 ** -(n - num_z),
+    )
+
+
+def conjugate_frames_through_gate(
+    frame_x: np.ndarray, frame_z: np.ndarray, gate: Gate
+) -> None:
+    """Conjugate a batch of Pauli frames through one Clifford gate, in place.
+
+    Frames carry no phase (only magnitudes of overlaps are ever scored), so
+    the update is pure symplectic bit arithmetic on the ``(batch, n)`` bit
+    arrays — X/Y/Z themselves commute-or-anticommute with any Pauli and leave
+    the bits untouched entirely.
+    """
+    name = gate.name
+    if name in ("id", "x", "y", "z"):
+        return
+    if name == "h":
+        q = gate.qubits[0]
+        tmp = frame_x[:, q].copy()
+        frame_x[:, q] = frame_z[:, q]
+        frame_z[:, q] = tmp
+    elif name in ("s", "sdg"):
+        q = gate.qubits[0]
+        frame_z[:, q] ^= frame_x[:, q]
+    elif name == "sx":
+        q = gate.qubits[0]
+        frame_x[:, q] ^= frame_z[:, q]
+    elif name in ("rz", "p"):
+        turns = _half_turns(gate.params[0])
+        if turns is None:
+            raise ValueError(f"gate '{name}({gate.params[0]})' is not Clifford")
+        if turns % 2:
+            q = gate.qubits[0]
+            frame_z[:, q] ^= frame_x[:, q]
+    elif name == "cx":
+        control, target = gate.qubits
+        frame_x[:, target] ^= frame_x[:, control]
+        frame_z[:, control] ^= frame_z[:, target]
+    elif name == "cz":
+        a, b = gate.qubits
+        frame_z[:, a] ^= frame_x[:, b]
+        frame_z[:, b] ^= frame_x[:, a]
+    elif name == "swap":
+        a, b = gate.qubits
+        for bits in (frame_x, frame_z):
+            tmp = bits[:, a].copy()
+            bits[:, a] = bits[:, b]
+            bits[:, b] = tmp
+    elif name == "cp":
+        turns = _half_turns(gate.params[0])
+        if turns == 0:
+            return
+        if turns != 2:
+            raise ValueError(f"gate 'cp({gate.params[0]})' is not Clifford")
+        a, b = gate.qubits
+        frame_z[:, a] ^= frame_x[:, b]
+        frame_z[:, b] ^= frame_x[:, a]
+    else:
+        raise ValueError(f"gate '{name}' is not Clifford")
+
+
+def advance_pauli_frames(
+    ops: Sequence,
+    num_qubits: int,
+    batch: int,
+    rng: np.random.Generator,
+    kick_cumweights: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Advance ``batch`` Pauli frames through fused Clifford ops with kicks.
+
+    Mirrors the dense kernel's randomness exactly: for every (op, qubit) kick
+    site, one ``rng.random(batch)`` hit draw then one pick draw, in circuit
+    order, regardless of which trajectories are hit — so a (seed, batch)
+    pair injects the *same* kicks here as in
+    :func:`repro.simulation.trajectories.advance_noisy_batch`.
+
+    Returns ``(frame_x, frame_z, kicks)``; frames are ``(batch, n)`` uint8.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    frame_x = np.zeros((batch, num_qubits), dtype=np.uint8)
+    frame_z = np.zeros((batch, num_qubits), dtype=np.uint8)
+    kicks = 0
+    for op in ops:
+        for gate in op.gates:
+            conjugate_frames_through_gate(frame_x, frame_z, gate)
+        for qubit, prob in zip(op.qubits, op.kick_probs):
+            if prob <= 0.0:
+                continue
+            hit = rng.random(batch) < prob
+            pauli_pick = np.minimum(
+                np.searchsorted(kick_cumweights, rng.random(batch)), 2
+            )
+            if not hit.any():
+                continue
+            # X (pick 0) and Y (pick 1) flip the x bit; Y and Z (pick 2) the z bit.
+            frame_x[:, qubit] ^= (hit & (pauli_pick <= 1)).astype(np.uint8)
+            frame_z[:, qubit] ^= (hit & (pauli_pick >= 1)).astype(np.uint8)
+            kicks += int(hit.sum())
+    return frame_x, frame_z, kicks

@@ -10,15 +10,25 @@ evaluation ultimately cares about — instead of per-gate errors:
    statevector (see :func:`repro.circuits.simulator.apply_matrix`);
 3. after each fused op, every involved qubit suffers a random Pauli kick
    (X, Y or Z, weighted by the noise model) with the probability the
-   :class:`~repro.simulation.channels.NoiseModel` assigns it;
+   :class:`~repro.simulation.channels.NoiseModel` assigns it — injected by a
+   single vectorized per-trajectory 2x2 update on the batch, not a masked
+   gather/scatter per Pauli;
 4. each trajectory's final state is scored against the noiseless final state
    (state fidelity) and against the noiseless dominant measurement outcome
    (success probability).
 
+Circuits made entirely of Clifford gates skip the dense statevector
+altogether: :func:`build_trajectory_plan` selects the Pauli-frame/stabilizer
+path of :mod:`repro.simulation.stabilizer`, which scores the same quantities
+exactly with two bits per qubit per trajectory and no ``2**n`` arrays — so
+Clifford benchmarks (Bernstein-Vazirani above all) run far past the 24-qubit
+statevector ceiling.
+
 All randomness flows from one ``numpy`` generator seeded by the caller, and
 kick draws are consumed in a fixed order independent of which trajectories
 are actually kicked, so a (seed, trajectory-count, batch-size) triple pins
-the result bit-for-bit — serially or across worker processes.
+the result bit-for-bit — serially, across worker processes, and across the
+statevector/stabilizer paths (both consume the identical draw stream).
 """
 
 from __future__ import annotations
@@ -31,15 +41,32 @@ import numpy as np
 
 from .. import telemetry
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.gate import Gate
 from ..circuits.library import gate_matrix
-from ..circuits.simulator import apply_matrix, zero_state
+from ..circuits.simulator import (
+    _matrix_strategy,
+    apply_matrix,
+    apply_matrix_inplace,
+    zero_state,
+)
 from .channels import NoiseModel
+from .stabilizer import (
+    StabilizerScorer,
+    advance_pauli_frames,
+    build_scorer,
+    is_clifford_circuit,
+)
 
 #: Default trajectories per batch: large enough to amortize per-gate Python
 #: overhead, small enough that a 12-16 qubit batch stays cache-resident.
 DEFAULT_BATCH_SIZE = 25
 
+#: Trajectory plan modes accepted by :func:`build_trajectory_plan`.
+PLAN_MODES = ("auto", "statevector", "stabilizer")
+
 #: Pauli kick operators, indexed by the noise model's (X, Y, Z) weights.
+#: The kick kernel itself uses fused coefficient arithmetic instead of these
+#: matrices; they remain the definition the tests pin the kernel against.
 _PAULIS = (
     np.array([[0, 1], [1, 0]], dtype=complex),
     np.array([[0, -1j], [1j, 0]], dtype=complex),
@@ -55,11 +82,16 @@ class FusedOp:
     kick immediately after this op; fusing ``m`` noisy single-qubit gates
     combines their kick probabilities as ``1 - prod(1 - p_i)`` so fusion never
     changes the injected noise, only the number of matrix applications.
+
+    ``gates`` records the constituent library gates in application order
+    (their matrix product is ``matrix``); the stabilizer fast path conjugates
+    Pauli frames through these instead of multiplying dense matrices.
     """
 
     matrix: np.ndarray
     qubits: Tuple[int, ...]
     kick_probs: Tuple[float, ...]
+    gates: Tuple[Gate, ...] = ()
 
 
 def _combine_probs(prob_a: float, prob_b: float) -> float:
@@ -79,14 +111,14 @@ def fuse_circuit(circuit: QuantumCircuit, noise: Optional[NoiseModel] = None) ->
     gates use the qubit's rate, and multi-qubit gates split their coupler
     rate evenly over the involved qubits.
     """
-    pending: Dict[int, Tuple[np.ndarray, float]] = {}
+    pending: Dict[int, Tuple[np.ndarray, float, Tuple[Gate, ...]]] = {}
     ops: List[FusedOp] = []
 
     def flush(qubit: int) -> None:
         entry = pending.pop(qubit, None)
         if entry is not None:
-            matrix, prob = entry
-            ops.append(FusedOp(matrix, (qubit,), (prob,)))
+            matrix, prob, gates = entry
+            ops.append(FusedOp(matrix, (qubit,), (prob,), gates))
 
     for gate in circuit:
         if gate.is_single_qubit:
@@ -96,10 +128,14 @@ def fuse_circuit(circuit: QuantumCircuit, noise: Optional[NoiseModel] = None) ->
                 rate = noise.single_qubit_rate(qubit)
             matrix = gate_matrix(gate)
             if qubit in pending:
-                prev_matrix, prev_prob = pending[qubit]
-                pending[qubit] = (matrix @ prev_matrix, _combine_probs(prev_prob, rate))
+                prev_matrix, prev_prob, prev_gates = pending[qubit]
+                pending[qubit] = (
+                    matrix @ prev_matrix,
+                    _combine_probs(prev_prob, rate),
+                    prev_gates + (gate,),
+                )
             else:
-                pending[qubit] = (matrix, rate)
+                pending[qubit] = (matrix, rate, (gate,))
             continue
         for qubit in gate.qubits:
             flush(qubit)
@@ -115,7 +151,7 @@ def fuse_circuit(circuit: QuantumCircuit, noise: Optional[NoiseModel] = None) ->
             # of the whole gate is exactly 1 - rate.
             per_qubit = 1.0 - (1.0 - min(rate, 1.0)) ** (1.0 / gate.num_qubits)
             kick_probs = (per_qubit,) * gate.num_qubits
-        ops.append(FusedOp(gate_matrix(gate), gate.qubits, kick_probs))
+        ops.append(FusedOp(gate_matrix(gate), gate.qubits, kick_probs, (gate,)))
 
     for qubit in sorted(pending):
         flush(qubit)
@@ -135,6 +171,77 @@ def ideal_final_state(circuit: QuantumCircuit) -> np.ndarray:
     """Noiseless final state of a circuit via the fused-op fast path."""
     ops = fuse_circuit(circuit)
     return apply_fused_ops(zero_state(circuit.num_qubits), ops, circuit.num_qubits)
+
+
+@dataclass(frozen=True)
+class TrajectoryPlan:
+    """Everything one trajectory batch needs, fused and precomputed once.
+
+    A plan is built once per (circuit, noise) pair by
+    :func:`build_trajectory_plan` and shared by every batch of the run —
+    serially, across pool workers (where its large arrays travel through
+    shared memory, see :mod:`repro.simulation.engine`), and across repeats.
+
+    ``mode`` selects the kernel: ``"statevector"`` advances dense ``(B, 2**n)``
+    batches and scores them against ``ideal_state``; ``"stabilizer"`` advances
+    two-bit Pauli frames and scores them exactly with ``scorer`` (Clifford
+    circuits only).  Exactly one of ``ideal_state`` / ``scorer`` is set.
+    """
+
+    num_qubits: int
+    ops: Tuple[FusedOp, ...]
+    kick_cumweights: np.ndarray
+    mode: str
+    ideal_state: Optional[np.ndarray] = None
+    scorer: Optional[StabilizerScorer] = None
+
+
+def build_trajectory_plan(
+    circuit: QuantumCircuit,
+    noise: NoiseModel,
+    mode: str = "auto",
+) -> TrajectoryPlan:
+    """Fuse a circuit against a noise model and pick the fastest exact kernel.
+
+    ``mode="auto"`` selects the stabilizer path exactly when every gate of
+    the circuit is Clifford (both kernels consume the same kick-draw stream,
+    and the stabilizer scorer is exact, so the choice never changes results —
+    only speed and the qubit ceiling).  ``"statevector"`` / ``"stabilizer"``
+    force a path; forcing ``"stabilizer"`` on a non-Clifford circuit raises
+    ``ValueError``.
+    """
+    if mode not in PLAN_MODES:
+        raise ValueError(f"mode must be one of {PLAN_MODES}, got {mode!r}")
+    if circuit.num_qubits != noise.num_qubits:
+        raise ValueError(
+            f"noise model covers {noise.num_qubits} qubits but the circuit "
+            f"has {circuit.num_qubits}"
+        )
+    if mode == "auto":
+        mode = "stabilizer" if is_clifford_circuit(circuit) else "statevector"
+    elif mode == "stabilizer" and not is_clifford_circuit(circuit):
+        raise ValueError(
+            "mode='stabilizer' requires a Clifford-only circuit; "
+            "use mode='auto' to fall back to the statevector kernel"
+        )
+    ops = tuple(fuse_circuit(circuit, noise))
+    cumweights = noise.kick_cumulative_weights()
+    if mode == "stabilizer":
+        return TrajectoryPlan(
+            num_qubits=circuit.num_qubits,
+            ops=ops,
+            kick_cumweights=cumweights,
+            mode=mode,
+            scorer=build_scorer(circuit),
+        )
+    ideal = apply_fused_ops(zero_state(circuit.num_qubits), ops, circuit.num_qubits)
+    return TrajectoryPlan(
+        num_qubits=circuit.num_qubits,
+        ops=ops,
+        kick_cumweights=cumweights,
+        mode=mode,
+        ideal_state=ideal,
+    )
 
 
 @dataclass(frozen=True)
@@ -209,6 +316,404 @@ class TrajectoryResult:
         )
 
 
+def _inject_kicks(
+    states: np.ndarray,
+    num_qubits: int,
+    qubit: int,
+    hit: np.ndarray,
+    pauli_pick: np.ndarray,
+) -> int:
+    """Apply per-trajectory Pauli kicks on one qubit to the batch, in place.
+
+    One fused 2x2 application over the whole ``(batch, 2**n)`` array: each
+    trajectory's kick (or identity) becomes four scalar coefficients applied
+    to its ``|0>``/``|1>`` amplitude planes — pure index arithmetic plus
+    sign/phase multiplies, no masked gather/scatter round-trips.  Unkicked
+    trajectories are multiplied by an exact identity, so their amplitudes are
+    value-identical to the old per-Pauli masked path.
+
+    Returns the number of kicks injected (every hit trajectory gets one).
+    """
+    batch = states.shape[0]
+    lower = 1 << qubit
+    upper = 1 << (num_qubits - qubit - 1)
+    view = states.reshape(batch, upper, 2, lower)
+
+    is_x = hit & (pauli_pick == 0)
+    is_y = hit & (pauli_pick == 1)
+    flip = is_x | is_y
+    if not flip.any():
+        # Z-only kicks: a diagonal sign flip on the |1> plane of kicked
+        # trajectories (everyone else multiplies by exact +1.0).
+        sign = np.where(hit, -1.0, 1.0)
+        view[:, :, 1, :] *= sign[:, None, None]
+        return int(hit.sum())
+
+    is_z = hit & ~flip
+    # Per-trajectory 2x2 coefficients, broadcast over the state planes:
+    #   new0 = diag0*s0 + off0*s1      new1 = off1*s0 + diag1*s1
+    # identity: (1, 0, 0, 1)   X: (0, 1, 1, 0)   Y: (0, -i, i, 0)   Z: (1, 0, 0, -1)
+    diag0 = np.where(flip, 0.0, 1.0)[:, None, None]
+    diag1 = np.where(flip, 0.0, np.where(is_z, -1.0, 1.0))[:, None, None]
+    off0 = (np.where(is_x, 1.0, 0.0) + np.where(is_y, -1j, 0.0))[:, None, None]
+    off1 = (np.where(is_x, 1.0, 0.0) + np.where(is_y, 1j, 0.0))[:, None, None]
+
+    plane0 = view[:, :, 0, :]
+    plane1 = view[:, :, 1, :]
+    new0 = diag0 * plane0 + off0 * plane1
+    new1 = off1 * plane0 + diag1 * plane1
+    view[:, :, 0, :] = new0
+    view[:, :, 1, :] = new1
+    return int(hit.sum())
+
+
+#: Phase units ``i**k`` for the composed-permutation phase exponents.
+_PHASE_LUT = np.array([1.0 + 0.0j, 1j, -1.0 + 0.0j, -1j])
+
+#: Ceiling on per-entry prefix snapshots of one program (bytes).  Above it,
+#: mid-segment materialization prefixes are recomputed on demand instead —
+#: kick hits are rare, and at the register sizes that exceed this ceiling a
+#: single statevector pass costs more than the recompute anyway.
+_SNAPSHOT_BUDGET = 64 * 2**20
+
+
+def _unit_exponents(coeffs: Sequence[complex]) -> Optional[np.ndarray]:
+    """Each coefficient as an exponent ``k`` with ``i**k == coeff``, exactly.
+
+    Returns ``None`` when any coefficient is not one of ``1, i, -1, -i``:
+    only these units multiply and compose without rounding, which is what
+    keeps the composed-permutation path exact — every amplitude equal to
+    op-by-op application (composition can flip the sign of an IEEE zero,
+    nothing more).
+    """
+    exponents = []
+    for coeff in coeffs:
+        for power, unit in enumerate((1.0, 1j, -1.0, -1j)):
+            if coeff == unit:
+                exponents.append(power)
+                break
+        else:
+            return None
+    return np.asarray(exponents, dtype=np.uint8)
+
+
+def _op_spec(op: FusedOp) -> Optional[Tuple[str, Optional[np.ndarray], np.ndarray]]:
+    """``(kind, perm, exponents)`` of a composable op, else ``None``.
+
+    Composable ops are generalized permutations and diagonals whose nonzero
+    entries are all exact phase units: x/y/z, cx/cz/swap, ccx/ccz, and
+    rz/p/cp at multiples of a half turn.  Dense matrices (fused single-qubit
+    runs, arbitrary rotations) are program boundaries.
+    """
+    matrix = np.asarray(op.matrix, dtype=complex)
+    strategy = _matrix_strategy(matrix.tobytes(), matrix.shape[0])
+    if strategy[0] == "diag":
+        exponents = _unit_exponents(strategy[1])
+        if exponents is None:
+            return None
+        return ("diag", None, exponents)
+    if strategy[0] == "perm":
+        exponents = _unit_exponents(strategy[2])
+        if exponents is None:
+            return None
+        return ("perm", np.asarray(strategy[1], dtype=np.intp), exponents)
+    return None
+
+
+def _map_for(
+    spec: Tuple[str, Optional[np.ndarray], np.ndarray],
+    targets: Tuple[int, ...],
+    num_qubits: int,
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Full-register ``(source index, phase exponent)`` arrays of one op.
+
+    ``out[j] = i**pexp[j] * in[idx[j]]`` reproduces the op exactly; ``None``
+    stands for the identity map / an all-zero exponent.  Pure index
+    arithmetic — no per-amplitude Python work.
+    """
+    kind, perm, exponents = spec
+    j = np.arange(1 << num_qubits, dtype=np.intp)
+    sub = (j >> targets[0]) & 1
+    for slot in range(1, len(targets)):
+        sub = sub | (((j >> targets[slot]) & 1) << slot)
+    if kind == "diag":
+        idx = None
+    else:
+        source_sub = perm[sub]
+        mask = 0
+        for target in targets:
+            mask |= 1 << target
+        idx = j & ~mask
+        for slot, target in enumerate(targets):
+            idx |= ((source_sub >> slot) & 1) << target
+    pexp = exponents[sub]
+    if not pexp.any():
+        pexp = None
+    return idx, pexp
+
+
+def _compose(
+    cur_idx: Optional[np.ndarray],
+    cur_pexp: Optional[np.ndarray],
+    idx: Optional[np.ndarray],
+    pexp: Optional[np.ndarray],
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Compose op ``(idx, pexp)`` after prefix ``(cur_idx, cur_pexp)``.
+
+    Index maps chain as ``cur_idx[idx]`` (the new op picks which prefix
+    entry feeds each output) and phase exponents add mod 4 — both exact, so
+    a composed run reproduces op-by-op application amplitude for amplitude.
+    """
+    if idx is None:
+        new_idx = cur_idx
+        moved = cur_pexp
+    else:
+        new_idx = idx if cur_idx is None else cur_idx[idx]
+        moved = None if cur_pexp is None else cur_pexp[idx]
+    if pexp is None:
+        new_pexp = moved
+    elif moved is None:
+        new_pexp = pexp
+    else:
+        new_pexp = (pexp + moved) & 3
+    return new_idx, new_pexp
+
+
+@dataclass(frozen=True)
+class _SegEntry:
+    """One composable op inside a segment: its spec, sites, and prefix.
+
+    ``snapshot`` (prefix from the segment start through this op) is only
+    stored for site-carrying entries within the snapshot budget; otherwise
+    :func:`_segment_prefix` recomposes it on demand when a kick hits here.
+    """
+
+    spec: Tuple[str, Optional[np.ndarray], np.ndarray]
+    targets: Tuple[int, ...]
+    sites: Tuple[Tuple[int, float], ...]
+    snapshot: Optional[Tuple[np.ndarray, Optional[np.ndarray]]]
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """A maximal run of composable ops, closed by its final prefix."""
+
+    entries: Tuple[_SegEntry, ...]
+    final_idx: np.ndarray
+    final_pexp: Optional[np.ndarray]
+
+
+@dataclass(frozen=True)
+class _DenseStep:
+    """A program boundary: one dense op applied through the matrix kernel."""
+
+    matrix: np.ndarray
+    targets: Tuple[int, ...]
+    sites: Tuple[Tuple[int, float], ...]
+
+
+@dataclass(frozen=True)
+class _Program:
+    """Precompiled trajectory program for one (ops, num_qubits) pair."""
+
+    num_qubits: int
+    items: Tuple[object, ...]
+
+
+def _relabel_positions(
+    ops: Sequence[FusedOp],
+    specs: Sequence[Optional[Tuple[str, Optional[np.ndarray], np.ndarray]]],
+    num_qubits: int,
+) -> Optional[np.ndarray]:
+    """Physical position of each logical qubit, or ``None`` for identity.
+
+    Dense ops on low qubit indices are pathological for the in-place kernel
+    (the contiguous inner stride is ``2**qubit`` amplitudes), so the qubits
+    dense ops touch most are parked at the top positions.  The relabeling is
+    a pure bit permutation of basis indices: it folds into the composed
+    gathers for free and never changes any amplitude value.
+    """
+    if num_qubits < 10:
+        return None
+    counts: Dict[int, int] = {}
+    for op, spec in zip(ops, specs):
+        if spec is None:
+            for qubit in op.qubits:
+                counts[qubit] = counts.get(qubit, 0) + 1
+    if not counts:
+        return None
+    heavy = sorted(counts, key=lambda qubit: (-counts[qubit], qubit))
+    rest = [qubit for qubit in range(num_qubits) if qubit not in counts]
+    low_to_high = rest + heavy[::-1]
+    positions = np.empty(num_qubits, dtype=np.intp)
+    for position, qubit in enumerate(low_to_high):
+        positions[qubit] = position
+    if np.array_equal(positions, np.arange(num_qubits)):
+        return None
+    return positions
+
+
+def _restore_map(positions: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Gather map returning a relabeled statevector to standard qubit order."""
+    i = np.arange(1 << num_qubits, dtype=np.intp)
+    restore = np.zeros_like(i)
+    for qubit in range(num_qubits):
+        restore |= ((i >> qubit) & 1) << int(positions[qubit])
+    return restore
+
+
+def _build_program(ops: Sequence[FusedOp], num_qubits: int) -> _Program:
+    """Compile a fused-op list into segments of composed permutations.
+
+    Consecutive permutation/diagonal ops with exact unit coefficients
+    collapse into single precomputed gather maps; dense ops and the final
+    relabel-restore close segments.  The program reproduces the op-by-op
+    evolution exactly by construction: gathers move amplitudes without
+    arithmetic and the only multiplies are by exact units of ``i``.
+    """
+    ops = tuple(ops)
+    specs = [_op_spec(op) for op in ops]
+    positions = _relabel_positions(ops, specs, num_qubits)
+
+    def phys(qubit: int) -> int:
+        return int(positions[qubit]) if positions is not None else int(qubit)
+
+    dim = 1 << num_qubits
+    siteful = sum(
+        1
+        for op, spec in zip(ops, specs)
+        if spec is not None and any(p > 0 for p in op.kick_probs)
+    )
+    snapshots_on = dim * 4 * max(siteful, 1) <= _SNAPSHOT_BUDGET
+
+    items: List[object] = []
+    cur_idx: Optional[np.ndarray] = None
+    cur_pexp: Optional[np.ndarray] = None
+    entries: List[_SegEntry] = []
+
+    def close_segment() -> None:
+        nonlocal cur_idx, cur_pexp, entries
+        if entries or cur_idx is not None or cur_pexp is not None:
+            final_idx = cur_idx if cur_idx is not None else np.arange(dim, dtype=np.intp)
+            items.append(_Segment(tuple(entries), final_idx, cur_pexp))
+        cur_idx, cur_pexp, entries = None, None, []
+
+    for op, spec in zip(ops, specs):
+        targets = tuple(phys(q) for q in op.qubits)
+        sites = tuple(
+            (phys(q), float(p)) for q, p in zip(op.qubits, op.kick_probs) if p > 0
+        )
+        if spec is None:
+            close_segment()
+            items.append(_DenseStep(np.asarray(op.matrix, dtype=complex), targets, sites))
+            continue
+        op_idx, op_pexp = _map_for(spec, targets, num_qubits)
+        cur_idx, cur_pexp = _compose(cur_idx, cur_pexp, op_idx, op_pexp)
+        snapshot = None
+        if sites and snapshots_on:
+            snap_idx = (
+                cur_idx if cur_idx is not None else np.arange(dim, dtype=np.intp)
+            ).astype(np.int32)
+            snapshot = (snap_idx, cur_pexp)
+        entries.append(_SegEntry(spec, targets, sites, snapshot))
+    if positions is not None:
+        cur_idx, cur_pexp = _compose(
+            cur_idx, cur_pexp, _restore_map(positions, num_qubits), None
+        )
+    close_segment()
+    return _Program(num_qubits=num_qubits, items=tuple(items))
+
+
+def _segment_prefix(
+    segment: _Segment, position: int, num_qubits: int
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Prefix map from the segment start through ``entries[position]``."""
+    entry = segment.entries[position]
+    if entry.snapshot is not None:
+        return entry.snapshot
+    cur_idx: Optional[np.ndarray] = None
+    cur_pexp: Optional[np.ndarray] = None
+    for earlier in segment.entries[: position + 1]:
+        op_idx, op_pexp = _map_for(earlier.spec, earlier.targets, num_qubits)
+        cur_idx, cur_pexp = _compose(cur_idx, cur_pexp, op_idx, op_pexp)
+    if cur_idx is None:
+        cur_idx = np.arange(1 << num_qubits, dtype=np.intp)
+    return cur_idx, cur_pexp
+
+
+class _Cursor:
+    """Tracks the last materialization point inside one segment.
+
+    ``advance`` moves the batch from the current point to a later prefix
+    with one relative gather (plus an exact unit-phase multiply when the run
+    carries phases); the inverse of the current prefix is built lazily only
+    when a second materialization actually happens.
+    """
+
+    __slots__ = ("idx", "pexp", "_inverse")
+
+    def __init__(self) -> None:
+        self.idx: Optional[np.ndarray] = None
+        self.pexp: Optional[np.ndarray] = None
+        self._inverse: Optional[np.ndarray] = None
+
+    def _inv(self) -> np.ndarray:
+        if self._inverse is None:
+            size = self.idx.shape[0]
+            inverse = np.empty(size, dtype=np.intp)
+            inverse[self.idx] = np.arange(size, dtype=np.intp)
+            self._inverse = inverse
+        return self._inverse
+
+    def advance(
+        self,
+        states: np.ndarray,
+        idx: np.ndarray,
+        pexp: Optional[np.ndarray],
+    ) -> np.ndarray:
+        if self.idx is None:
+            rel, rel_pexp = idx, pexp
+        else:
+            rel = self._inv()[idx]
+            if pexp is None and self.pexp is None:
+                rel_pexp = None
+            elif self.pexp is None:
+                rel_pexp = pexp
+            else:
+                base = self.pexp[rel]
+                rel_pexp = ((-base) if pexp is None else (pexp - base)) & 3
+        # ``take`` (unlike ``states[:, rel]``) returns a C-contiguous array,
+        # which keeps the in-place kernels on their exact bit-for-bit path.
+        states = states.take(rel, axis=1)
+        if rel_pexp is not None and rel_pexp.any():
+            states *= _PHASE_LUT[rel_pexp]
+        self.idx, self.pexp, self._inverse = idx, pexp, None
+        return states
+
+
+#: Identity-keyed program cache: plans reuse one fused-op tuple across every
+#: batch (and every pool worker attaches a persistent plan), so the program
+#: is compiled once per plan.  Entries pin their ops tuple, which keeps the
+#: ``is`` key valid for the cache's lifetime.
+_PROGRAM_CACHE: List[Tuple[Tuple[FusedOp, ...], int, _Program]] = []
+_PROGRAM_CACHE_MAX = 8
+
+
+def _trajectory_program(ops: Sequence[FusedOp], num_qubits: int) -> _Program:
+    """The compiled program of a fused-op tuple, cached by identity."""
+    if isinstance(ops, tuple):
+        for index, (cached_ops, cached_qubits, program) in enumerate(_PROGRAM_CACHE):
+            if cached_ops is ops and cached_qubits == num_qubits:
+                if index:
+                    _PROGRAM_CACHE.insert(0, _PROGRAM_CACHE.pop(index))
+                return program
+        program = _build_program(ops, num_qubits)
+        _PROGRAM_CACHE.insert(0, (ops, num_qubits, program))
+        del _PROGRAM_CACHE[_PROGRAM_CACHE_MAX:]
+        return program
+    return _build_program(tuple(ops), num_qubits)
+
+
 def advance_noisy_batch(
     ops: Sequence[FusedOp],
     num_qubits: int,
@@ -222,68 +727,107 @@ def advance_noisy_batch(
     the total number of Pauli kicks injected.  The kick draws for every
     (op, qubit) site are consumed in circuit order regardless of which
     trajectories are hit, so the generator's stream — and therefore the
-    states — depends only on its seed and the batch size.  This is the
-    single noisy-evolution kernel: :func:`run_trajectory_batch` scores its
-    states against the ideal state, and
-    :func:`noisy_trajectory_states` hands them to callers that need the raw
-    vectors (e.g. ``repro.primitives.Estimator`` expectation values).
+    states — depends only on its seed and the batch size.  Picks are clipped
+    into the Pauli table so a cumulative-weight array whose last entry sits a
+    few ulp below 1.0 cannot silently drop kicks.
+
+    The kernel runs the circuit's precompiled :func:`_build_program`: maximal
+    runs of permutation/diagonal ops collapse into single gathers, the state
+    is only materialized at dense ops, at sites where a kick actually hits,
+    and at the end — and every amplitude equals in-place op-by-op
+    application of the fused ops, because gathers move values untouched
+    and all composed phases are exact units of ``i``.  This is the dense
+    noisy-evolution kernel: :func:`run_trajectory_batch` scores its states
+    against the ideal state, and :func:`noisy_trajectory_states` hands them
+    to callers that need the raw vectors (e.g. ``repro.primitives.Estimator``
+    expectation values).
     """
     if batch < 1:
         raise ValueError("batch must be >= 1")
-    states = np.tile(zero_state(num_qubits), (batch, 1))
+    program = _trajectory_program(ops, num_qubits)
+    states = np.zeros((batch, 1 << num_qubits), dtype=complex)
+    states[:, 0] = 1.0
     kicks = 0
-    for op in ops:
-        states = apply_matrix(states, op.matrix, op.qubits, num_qubits)
-        for qubit, prob in zip(op.qubits, op.kick_probs):
-            if prob <= 0.0:
-                continue
-            hit = rng.random(batch) < prob
-            pauli_pick = np.searchsorted(kick_cumweights, rng.random(batch))
-            if not hit.any():
-                continue
-            for pauli_index, pauli in enumerate(_PAULIS):
-                mask = hit & (pauli_pick == pauli_index)
-                if mask.any():
-                    states[mask] = apply_matrix(states[mask], pauli, (qubit,), num_qubits)
-                    kicks += int(mask.sum())
+    for item in program.items:
+        if isinstance(item, _DenseStep):
+            states = apply_matrix_inplace(states, item.matrix, item.targets, num_qubits)
+            for qubit, prob in item.sites:
+                hit = rng.random(batch) < prob
+                pauli_pick = np.minimum(
+                    np.searchsorted(kick_cumweights, rng.random(batch)), 2
+                )
+                if not hit.any():
+                    continue
+                kicks += _inject_kicks(states, num_qubits, qubit, hit, pauli_pick)
+            continue
+        cursor = _Cursor()
+        materialized_at = -1
+        for position, entry in enumerate(item.entries):
+            for qubit, prob in entry.sites:
+                hit = rng.random(batch) < prob
+                pauli_pick = np.minimum(
+                    np.searchsorted(kick_cumweights, rng.random(batch)), 2
+                )
+                if not hit.any():
+                    continue
+                if materialized_at != position:
+                    prefix_idx, prefix_pexp = _segment_prefix(
+                        item, position, num_qubits
+                    )
+                    states = cursor.advance(states, prefix_idx, prefix_pexp)
+                    materialized_at = position
+                kicks += _inject_kicks(states, num_qubits, qubit, hit, pauli_pick)
+        states = cursor.advance(states, item.final_idx, item.final_pexp)
     return states, kicks
 
 
 def run_trajectory_batch(
-    ops: Sequence[FusedOp],
-    num_qubits: int,
+    plan: TrajectoryPlan,
     batch: int,
     rng: np.random.Generator,
-    ideal_state: np.ndarray,
-    kick_cumweights: np.ndarray,
 ) -> TrajectoryResult:
-    """Advance ``batch`` trajectories in lockstep and score them.
+    """Advance ``batch`` trajectories of a plan in lockstep and score them.
 
     The kick draws for every (op, qubit) site are consumed in circuit order
     regardless of which trajectories are hit, so the generator's stream — and
     therefore the result — depends only on its seed and the batch size.
 
-    Each call is one ``sim.batch`` kernel span; the ``sim.kernel_s``
-    histogram and the ``sim.trajectories`` / ``sim.kicks`` / ``sim.batches``
-    counters accumulate the throughput story ``repro bench --fidelity``
-    reports.
+    Each call is one ``sim.batch`` kernel span (tagged with the plan mode);
+    the ``sim.kernel_s`` histogram and the ``sim.trajectories`` /
+    ``sim.kicks`` / ``sim.batches`` counters accumulate the throughput story
+    ``repro bench --fidelity`` reports.
     """
     start = time.perf_counter()
-    with telemetry.span("sim.batch", qubits=num_qubits, batch=batch):
-        states, kicks = advance_noisy_batch(ops, num_qubits, batch, rng, kick_cumweights)
+    with telemetry.span(
+        "sim.batch", qubits=plan.num_qubits, batch=batch, mode=plan.mode
+    ):
+        if plan.mode == "stabilizer":
+            frame_x, frame_z, kicks = advance_pauli_frames(
+                plan.ops, plan.num_qubits, batch, rng, plan.kick_cumweights
+            )
+        else:
+            states, kicks = advance_noisy_batch(
+                plan.ops, plan.num_qubits, batch, rng, plan.kick_cumweights
+            )
     telemetry.histogram("sim.kernel_s").observe(time.perf_counter() - start)
     telemetry.counter("sim.batches").inc()
     telemetry.counter("sim.trajectories").inc(batch)
     telemetry.counter("sim.kicks").inc(kicks)
 
-    fidelities = np.abs(states @ ideal_state.conj()) ** 2
-    dominant = int(np.argmax(np.abs(ideal_state) ** 2))
-    success = np.abs(states[:, dominant]) ** 2
+    if plan.mode == "stabilizer":
+        fidelities, success = plan.scorer.score(frame_x, frame_z)
+        ideal_success = plan.scorer.ideal_success
+    else:
+        ideal_state = plan.ideal_state
+        fidelities = np.abs(states @ ideal_state.conj()) ** 2
+        dominant = int(np.argmax(np.abs(ideal_state) ** 2))
+        success = np.abs(states[:, dominant]) ** 2
+        ideal_success = float(np.abs(ideal_state[dominant]) ** 2)
     return TrajectoryResult(
-        num_qubits=num_qubits,
+        num_qubits=plan.num_qubits,
         fidelities=tuple(float(f) for f in fidelities),
         success_probs=tuple(float(p) for p in success),
-        ideal_success=float(np.abs(ideal_state[dominant]) ** 2),
+        ideal_success=ideal_success,
         kicks=kicks,
     )
 
@@ -304,28 +848,22 @@ def trajectory_batch_payloads(
     num_trajectories: int,
     seed: int = 0,
     batch_size: int = DEFAULT_BATCH_SIZE,
-) -> List[Tuple[List[FusedOp], int, int, np.random.SeedSequence, np.ndarray, np.ndarray]]:
+    mode: str = "auto",
+) -> List[Tuple[TrajectoryPlan, int, np.random.SeedSequence]]:
     """The seeded per-batch work items of one trajectory run.
 
     This is the single source of the fusion + seeding scheme: the serial
     driver (:func:`simulate_trajectories`) and the pooled engine
     (:func:`repro.simulation.engine.run_trajectories`) both execute exactly
     these payloads in order, which is what makes their results bit-identical.
+    Every payload shares one :class:`TrajectoryPlan` object, so the engine
+    can ship its large arrays to pool workers once (via shared memory)
+    instead of once per batch.
     """
-    if circuit.num_qubits != noise.num_qubits:
-        raise ValueError(
-            f"noise model covers {noise.num_qubits} qubits but the circuit "
-            f"has {circuit.num_qubits}"
-        )
-    ops = fuse_circuit(circuit, noise)
-    ideal = apply_fused_ops(zero_state(circuit.num_qubits), ops, circuit.num_qubits)
-    cumweights = noise.kick_cumulative_weights()
+    plan = build_trajectory_plan(circuit, noise, mode=mode)
     sizes = batch_sizes(num_trajectories, batch_size)
     children = np.random.SeedSequence(seed).spawn(len(sizes))
-    return [
-        (ops, circuit.num_qubits, size, child, ideal, cumweights)
-        for size, child in zip(sizes, children)
-    ]
+    return [(plan, size, child) for size, child in zip(sizes, children)]
 
 
 def noisy_trajectory_states(
@@ -345,12 +883,18 @@ def noisy_trajectory_states(
     with the fidelity columns the runtime reports for the same job.
 
     Returns a dense ``(num_trajectories, 2**n)`` array; callers are expected
-    to respect the statevector simulator's small-circuit limits.
+    to respect the statevector simulator's small-circuit limits.  The
+    statevector kernel is forced even for Clifford circuits, because the
+    caller wants the raw vectors.
     """
     batches = [
-        advance_noisy_batch(ops, num_qubits, size, np.random.default_rng(child), cumweights)[0]
-        for ops, num_qubits, size, child, _ideal, cumweights in trajectory_batch_payloads(
-            circuit, noise, num_trajectories, seed=seed, batch_size=batch_size
+        advance_noisy_batch(
+            plan.ops, plan.num_qubits, size,
+            np.random.default_rng(child), plan.kick_cumweights,
+        )[0]
+        for plan, size, child in trajectory_batch_payloads(
+            circuit, noise, num_trajectories,
+            seed=seed, batch_size=batch_size, mode="statevector",
         )
     ]
     return np.concatenate(batches, axis=0)
@@ -362,6 +906,7 @@ def simulate_trajectories(
     num_trajectories: int,
     seed: int = 0,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    mode: str = "auto",
 ) -> TrajectoryResult:
     """Run seeded Monte-Carlo trajectories of a circuit, serially.
 
@@ -370,11 +915,10 @@ def simulate_trajectories(
     :func:`trajectory_batch_payloads` and concatenate batches in order.
     """
     parts = [
-        run_trajectory_batch(
-            ops, num_qubits, size, np.random.default_rng(child), ideal, cumweights
-        )
-        for ops, num_qubits, size, child, ideal, cumweights in trajectory_batch_payloads(
-            circuit, noise, num_trajectories, seed=seed, batch_size=batch_size
+        run_trajectory_batch(plan, size, np.random.default_rng(child))
+        for plan, size, child in trajectory_batch_payloads(
+            circuit, noise, num_trajectories,
+            seed=seed, batch_size=batch_size, mode=mode,
         )
     ]
     return TrajectoryResult.merge(parts)

@@ -116,6 +116,39 @@ class TestSimulator:
         assert counts_a == counts_b
         assert sum(counts_a.values()) == 100
 
+    def test_sample_counts_keys_have_register_width(self):
+        # Regression: width must come from the state's last axis, not its
+        # total size — they only coincide for unbatched input.
+        state = simulate(QuantumCircuit(3).h(0).x(2))
+        counts = sample_counts(state, shots=50, seed=0)
+        assert all(len(key) == 3 for key in counts)
+
+    def test_sample_counts_rejects_batched_states(self):
+        batch = np.tile(zero_state(2), (4, 1))
+        with pytest.raises(ValueError, match="batched"):
+            sample_counts(batch, shots=10, seed=0)
+
+    def test_dominant_bitstring_rejects_batched_states(self):
+        batch = np.tile(zero_state(2), (4, 1))
+        with pytest.raises(ValueError, match="batched"):
+            dominant_bitstring(batch)
+
+    def test_non_power_of_two_state_rejected(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            dominant_bitstring(np.full(3, np.sqrt(1 / 3)))
+
+    def test_sample_counts_tally_matches_loop_reference(self):
+        state = simulate(QuantumCircuit(3).h(0).h(1).cx(1, 2))
+        probs = np.abs(state) ** 2
+        probs /= probs.sum()
+        counts = sample_counts(state, shots=500, seed=11)
+        outcomes = np.random.default_rng(11).choice(probs.size, size=500, p=probs)
+        reference = {}
+        for outcome in outcomes:
+            key = format(int(outcome), "03b")
+            reference[key] = reference.get(key, 0) + 1
+        assert counts == reference
+
     @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=4))
     @settings(max_examples=30, deadline=None)
     def test_single_x_places_excitation(self, num_qubits, target):

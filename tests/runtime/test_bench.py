@@ -45,7 +45,7 @@ class TestRunBench:
     def test_fidelity_rows_carry_trajectory_throughput(self):
         report = run_bench(benchmarks=("bv",), quick=True, fidelity=True)
         (row,) = report["fidelity"]
-        assert row["trajectories"] == 20
+        assert row["trajectories"] == QUICK_PROFILE["trajectories"]
         assert row["throughput_traj_per_s"] > 0
         assert 0.0 <= row["state_fidelity"] <= 1.0
         span_names = {entry["span"] for entry in report["telemetry"]["spans"]}
@@ -90,6 +90,32 @@ class TestCheckRegression:
     def test_schema_mismatch_rejected(self):
         with pytest.raises(ValueError, match="schema"):
             check_regression(self._report(1.0), {"schema": "other/v9"})
+
+    def _fidelity_report(self, throughput):
+        return {
+            "schema": BENCH_SCHEMA,
+            "compile": [{"benchmark": "bv", "throughput_per_s": 100.0}],
+            "fidelity": [{"benchmark": "bv", "throughput_traj_per_s": throughput}],
+        }
+
+    def test_trajectory_stage_regression_is_reported(self):
+        failures = check_regression(
+            self._fidelity_report(50.0), self._fidelity_report(100.0), tolerance=0.25
+        )
+        assert len(failures) == 1
+        assert "trajectory throughput" in failures[0]
+
+    def test_trajectory_stage_within_tolerance_passes(self):
+        assert check_regression(
+            self._fidelity_report(90.0), self._fidelity_report(100.0)
+        ) == []
+
+    def test_missing_fidelity_stage_is_ignored(self):
+        # A compile-only report checked against a fidelity-carrying baseline
+        # (or vice versa) gates only the stages both sides ran.
+        assert check_regression(
+            self._report(100.0), self._fidelity_report(100.0)
+        ) == []
 
 
 class TestBenchMain:

@@ -1,0 +1,223 @@
+"""Tests of the composed-permutation trajectory kernel and its building
+blocks: the in-place gate kernels, the fused Pauli-kick injection, and the
+program's exact agreement with op-by-op application."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.simulator import apply_matrix, apply_matrix_inplace
+from repro.simulation import NoiseModel
+from repro.simulation.trajectories import (
+    _PAULIS,
+    _build_program,
+    _inject_kicks,
+    _Segment,
+    advance_noisy_batch,
+    fuse_circuit,
+)
+
+GATES_1Q = [("h", 0), ("x", 0), ("y", 0), ("z", 0), ("s", 0), ("sdg", 0),
+            ("t", 0), ("sx", 0), ("rx", 1), ("ry", 1), ("rz", 1), ("p", 1),
+            ("u3", 3)]
+GATES_2Q = [("cx", 0), ("cz", 0), ("swap", 0), ("cp", 1), ("rzz", 1)]
+
+
+def random_circuit(rng, num_qubits, depth):
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(depth):
+        if num_qubits >= 2 and rng.random() < 0.35:
+            name, num_params = GATES_2Q[int(rng.integers(len(GATES_2Q)))]
+            qubits = rng.choice(num_qubits, size=2, replace=False).tolist()
+        else:
+            name, num_params = GATES_1Q[int(rng.integers(len(GATES_1Q)))]
+            qubits = [int(rng.integers(num_qubits))]
+        params = tuple(float(rng.uniform(-np.pi, np.pi)) for _ in range(num_params))
+        circuit.add(name, qubits, params)
+    return circuit
+
+
+def reference_advance(ops, num_qubits, batch, rng, cumweights, inplace):
+    """Op-by-op evolution, with either kernel, kick stream as the fast path."""
+    states = np.zeros((batch, 1 << num_qubits), dtype=complex)
+    states[:, 0] = 1.0
+    kicks = 0
+    apply = apply_matrix_inplace if inplace else apply_matrix
+    for op in ops:
+        states = apply(states, op.matrix, op.qubits, num_qubits)
+        for qubit, prob in zip(op.qubits, op.kick_probs):
+            if prob <= 0.0:
+                continue
+            hit = rng.random(batch) < prob
+            pick = np.minimum(np.searchsorted(cumweights, rng.random(batch)), 2)
+            if not hit.any():
+                continue
+            kicks += _inject_kicks(states, num_qubits, qubit, hit, pick)
+    return states, kicks
+
+
+class TestInPlaceKernels:
+    def rand_state(self, rng, num_qubits, batch=3):
+        shape = (batch, 1 << num_qubits)
+        return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+    def test_diag_perm_dense1_match_apply_matrix(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            n = int(rng.integers(2, 7))
+            qubits = tuple(rng.choice(n, size=2, replace=False).tolist())
+            diag = np.diag(np.exp(1j * rng.uniform(-np.pi, np.pi, 4)))
+            perm = np.zeros((4, 4), complex)
+            for row, col in enumerate(rng.permutation(4)):
+                perm[row, col] = np.exp(1j * rng.uniform(-np.pi, np.pi))
+            dense1 = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+            for matrix, targets in (
+                (diag, qubits), (perm, qubits), (dense1, (qubits[0],))
+            ):
+                state = self.rand_state(rng, n)
+                got = apply_matrix_inplace(state.copy(), matrix, targets, n)
+                want = apply_matrix(state.copy(), matrix, targets, n)
+                assert np.allclose(got, want, rtol=0, atol=1e-12)
+
+    def test_mutates_in_place_on_fast_paths(self):
+        rng = np.random.default_rng(8)
+        state = self.rand_state(rng, 3)
+        out = apply_matrix_inplace(state, np.diag([1.0, -1.0]), (1,), 3)
+        assert out is state
+
+    def test_non_contiguous_input_falls_back(self):
+        rng = np.random.default_rng(9)
+        state = self.rand_state(rng, 3, batch=4)[::2]
+        assert not state.flags.c_contiguous
+        out = apply_matrix_inplace(state, np.diag([1.0, 1j]), (0,), 3)
+        want = apply_matrix(np.ascontiguousarray(state), np.diag([1.0, 1j]), (0,), 3)
+        assert np.array_equal(out, want)
+
+
+class TestInjectKicks:
+    def test_matches_masked_pauli_application(self):
+        rng = np.random.default_rng(3)
+        for num_qubits, qubit in ((1, 0), (3, 1), (4, 3)):
+            batch = 6
+            shape = (batch, 1 << num_qubits)
+            states = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            hit = rng.random(batch) < 0.5
+            pick = rng.integers(0, 3, size=batch)
+            want = states.copy()
+            for row in range(batch):
+                if hit[row]:
+                    want[row] = apply_matrix(
+                        want[row], _PAULIS[pick[row]], (qubit,), num_qubits
+                    )
+            got = states.copy()
+            kicks = _inject_kicks(got, num_qubits, qubit, hit, pick)
+            assert kicks == int(hit.sum())
+            assert np.allclose(got, want, atol=1e-12)
+
+    def test_no_hits_is_identity(self):
+        states = np.full((2, 4), 0.5 + 0.0j)
+        before = states.copy()
+        kicks = _inject_kicks(
+            states, 2, 0, np.zeros(2, dtype=bool), np.zeros(2, dtype=np.intp)
+        )
+        assert kicks == 0
+        assert np.array_equal(states, before)
+
+
+class TestProgramKernel:
+    def make_ops(self, rng, num_qubits, depth, single_error=0.08, cz_error=0.15):
+        circuit = random_circuit(rng, num_qubits, depth)
+        noise = NoiseModel.uniform(
+            num_qubits, single_qubit_error=single_error, cz_error=cz_error
+        )
+        return tuple(fuse_circuit(circuit, noise)), noise.kick_cumulative_weights()
+
+    def test_program_compiles_permutation_runs_into_segments(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cz(1, 2).swap(0, 2).x(1).t(2)
+        ops = tuple(fuse_circuit(circuit, NoiseModel.uniform(3)))
+        program = _build_program(ops, 3)
+        assert any(isinstance(item, _Segment) for item in program.items)
+
+    def test_matches_in_place_reference_exactly(self):
+        """The program's gathers and unit-phase multiplies are exact: every
+        amplitude equals op-by-op in-place application (np.array_equal — only
+        the sign of IEEE zeros may differ through phase composition)."""
+        master = np.random.default_rng(20260808)
+        for _ in range(20):
+            n = int(master.integers(1, 7))
+            ops, cumweights = self.make_ops(master, n, int(master.integers(3, 40)))
+            seed = int(master.integers(2**31))
+            batch = int(master.integers(1, 9))
+            rng_a = np.random.default_rng(seed)
+            got, kicks_got = advance_noisy_batch(ops, n, batch, rng_a, cumweights)
+            rng_b = np.random.default_rng(seed)
+            want, kicks_want = reference_advance(
+                ops, n, batch, rng_b, cumweights, inplace=True
+            )
+            assert kicks_got == kicks_want
+            assert rng_a.bit_generator.state == rng_b.bit_generator.state
+            assert np.array_equal(got, want)
+
+    def test_matches_legacy_apply_matrix_reference(self):
+        """Against the pre-optimisation op-by-op apply_matrix evolution the
+        kernel agrees to float rounding, with an identical kick stream."""
+        master = np.random.default_rng(99)
+        for _ in range(10):
+            n = int(master.integers(2, 7))
+            ops, cumweights = self.make_ops(master, n, int(master.integers(5, 30)))
+            seed = int(master.integers(2**31))
+            got, kicks_got = advance_noisy_batch(
+                ops, n, 5, np.random.default_rng(seed), cumweights
+            )
+            want, kicks_want = reference_advance(
+                ops, n, 5, np.random.default_rng(seed), cumweights, inplace=False
+            )
+            assert kicks_got == kicks_want
+            assert np.allclose(got, want, rtol=0, atol=1e-12)
+
+    def test_states_are_normalised(self):
+        master = np.random.default_rng(5)
+        ops, cumweights = self.make_ops(master, 4, 20)
+        states, _ = advance_noisy_batch(
+            ops, 4, 8, np.random.default_rng(1), cumweights
+        )
+        assert np.allclose(np.linalg.norm(states, axis=1), 1.0, atol=1e-9)
+
+    def test_kick_stream_independent_of_hits(self):
+        """Zero-noise and high-noise runs consume the same number of draws
+        per site, so the stream position never depends on hit outcomes."""
+        master = np.random.default_rng(17)
+        circuit = random_circuit(master, 3, 15)
+        quiet = tuple(fuse_circuit(circuit, NoiseModel.uniform(3, 1e-12, 1e-12)))
+        loud = tuple(fuse_circuit(circuit, NoiseModel.uniform(3, 0.4, 0.4)))
+        cw_quiet = NoiseModel.uniform(3, 1e-12, 1e-12).kick_cumulative_weights()
+        cw_loud = NoiseModel.uniform(3, 0.4, 0.4).kick_cumulative_weights()
+        rng_a = np.random.default_rng(2)
+        advance_noisy_batch(quiet, 3, 4, rng_a, cw_quiet)
+        rng_b = np.random.default_rng(2)
+        advance_noisy_batch(loud, 3, 4, rng_b, cw_loud)
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+
+class TestKickWeights:
+    def test_cumulative_weights_end_at_exactly_one(self):
+        for weights in ((1.0, 1.0, 2.0), (0.3, 0.3, 0.1), (1e-9, 1.0, 1e-9)):
+            model = NoiseModel(num_qubits=1, pauli_weights=weights)
+            cumweights = model.kick_cumulative_weights()
+            assert cumweights[-1] == 1.0
+            assert np.all(np.diff(cumweights) >= 0)
+
+    def test_draw_at_upper_edge_cannot_escape_pauli_table(self):
+        """Even with a cumulative array ending a few ulp below 1.0 a maximal
+        draw is clipped into the table instead of indexing past it."""
+        cumweights = np.array([0.25, 0.5, 1.0 - 1e-16])
+        pick = np.minimum(
+            np.searchsorted(cumweights, np.array([0.999999, 1.0 - 1e-17])), 2
+        )
+        assert pick.max() <= 2
+        states = np.full((2, 2), np.sqrt(0.5) + 0j)
+        kicks = _inject_kicks(
+            states, 1, 0, np.ones(2, dtype=bool), pick.astype(np.intp)
+        )
+        assert kicks == 2
