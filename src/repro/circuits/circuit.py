@@ -74,14 +74,37 @@ class QuantumCircuit:
         self._gates.append(gate)
         return self
 
+    def _append_fast(self, gate: Gate) -> None:
+        """Append without validation (compiler hot paths).
+
+        The caller guarantees the gate is library-valid and inside the
+        circuit's qubit range — e.g. it was lifted from an already-validated
+        circuit, or built from a layout that maps into this register.
+        """
+        self._gates.append(gate)
+
     def add(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "QuantumCircuit":
         """Append a gate by name."""
         return self.append(Gate(name, tuple(qubits), tuple(params)))
 
     def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
-        """Append many gates."""
-        for gate in gates:
-            self.append(gate)
+        """Append many gates in one bulk operation.
+
+        Every gate is validated up front, then the whole batch lands with a
+        single list extend — no gate is appended unless all of them pass, so
+        a failed extend leaves the circuit untouched.
+        """
+        batch = list(gates)
+        num_qubits = self.num_qubits
+        for gate in batch:
+            validate_gate(gate)
+            for qubit in gate.qubits:
+                if not 0 <= qubit < num_qubits:
+                    raise ValueError(
+                        f"gate {gate} addresses qubit {qubit} outside circuit of "
+                        f"{num_qubits} qubits"
+                    )
+        self._gates.extend(batch)
         return self
 
     # Named builders (the ones used by benchmarks and the compiler).
@@ -222,11 +245,11 @@ class QuantumCircuit:
 
     def num_single_qubit_gates(self) -> int:
         """Number of one-qubit gates."""
-        return sum(1 for gate in self._gates if gate.is_single_qubit)
+        return sum(1 for gate in self._gates if len(gate.qubits) == 1)
 
     def num_two_qubit_gates(self) -> int:
         """Number of two-qubit gates."""
-        return sum(1 for gate in self._gates if gate.is_two_qubit)
+        return sum(1 for gate in self._gates if len(gate.qubits) == 2)
 
     def used_qubits(self) -> Tuple[int, ...]:
         """Sorted tuple of qubits touched by at least one gate."""
@@ -239,9 +262,14 @@ class QuantumCircuit:
         """Circuit depth (length of the longest qubit-dependency chain)."""
         frontier = [0] * self.num_qubits
         for gate in self._gates:
-            level = max(frontier[q] for q in gate.qubits) + 1
-            for q in gate.qubits:
-                frontier[q] = level
+            qubits = gate.qubits
+            if len(qubits) == 1:
+                q = qubits[0]
+                frontier[q] += 1
+            else:
+                level = max(frontier[q] for q in qubits) + 1
+                for q in qubits:
+                    frontier[q] = level
         return max(frontier) if frontier else 0
 
     def layers(self) -> List[List[Gate]]:

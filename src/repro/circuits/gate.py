@@ -5,6 +5,11 @@ more qubits, optionally with real-valued parameters (rotation angles).  The
 set of known gate names, their arities and parameter counts live in
 :mod:`repro.circuits.library`; the IR itself is agnostic so that compiler
 passes can introduce intermediate gates (e.g. ``u3`` or ``swap``) freely.
+
+Compiler hot loops create millions of gates, so the class is slotted and a
+private unchecked constructor (:func:`fast_gate`) exists for call sites whose
+inputs are already normalised (lower-case name, int tuples) — the public
+constructor keeps full normalisation and validation.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Gate:
     """One quantum operation in a circuit.
 
@@ -50,19 +55,24 @@ class Gate:
     @property
     def is_single_qubit(self) -> bool:
         """True for one-qubit gates."""
-        return self.num_qubits == 1
+        return len(self.qubits) == 1
 
     @property
     def is_two_qubit(self) -> bool:
         """True for two-qubit gates."""
-        return self.num_qubits == 2
+        return len(self.qubits) == 2
 
     def remapped(self, mapping) -> "Gate":
         """A copy of this gate with qubit indices remapped through ``mapping``.
 
         ``mapping`` may be a dict or any object supporting ``__getitem__``.
+        Returns ``self`` when the mapping leaves every operand in place (the
+        gate is immutable, so sharing is safe).
         """
-        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+        qubits = tuple(int(mapping[q]) for q in self.qubits)
+        if qubits == self.qubits:
+            return self
+        return Gate(self.name, qubits, self.params)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         params = ""
@@ -70,3 +80,24 @@ class Gate:
             params = "(" + ", ".join(f"{p:.4g}" for p in self.params) + ")"
         qubits = ", ".join(str(q) for q in self.qubits)
         return f"{self.name}{params} q[{qubits}]"
+
+
+_new_gate = object.__new__
+_set_attr = object.__setattr__
+
+_EMPTY_PARAMS: Tuple[float, ...] = ()
+
+
+def fast_gate(name: str, qubits: Tuple[int, ...], params: Tuple[float, ...] = _EMPTY_PARAMS) -> Gate:
+    """Build a :class:`Gate` skipping normalisation and validation.
+
+    For compiler hot paths only: ``name`` must already be lower-case,
+    ``qubits`` a tuple of distinct Python ints, ``params`` a tuple of floats —
+    exactly what the public constructor would have produced.  The result is
+    indistinguishable from ``Gate(name, qubits, params)``.
+    """
+    gate = _new_gate(Gate)
+    _set_attr(gate, "name", name)
+    _set_attr(gate, "qubits", qubits)
+    _set_attr(gate, "params", params)
+    return gate

@@ -89,7 +89,30 @@ def validate_gate(gate: Gate) -> None:
 
 
 def gate_matrix(gate: Gate) -> np.ndarray:
-    """Unitary matrix of a gate on its own qubits (little-endian ordering)."""
+    """Unitary matrix of a gate on its own qubits (little-endian ordering).
+
+    Results are memoized per gate value and returned as read-only arrays —
+    the compiler's fusion passes request the same small set of matrices
+    thousands of times per compile.  Callers that need a mutable copy must
+    ``.copy()`` it.
+    """
+    key = (gate.name, len(gate.qubits), gate.params)
+    cached = _MATRIX_CACHE.get(key)
+    if cached is not None:
+        return cached
+    matrix = _build_gate_matrix(gate)
+    matrix.setflags(write=False)
+    if len(_MATRIX_CACHE) >= _MATRIX_CACHE_MAX:
+        _MATRIX_CACHE.clear()
+    _MATRIX_CACHE[key] = matrix
+    return matrix
+
+
+_MATRIX_CACHE: Dict[tuple, np.ndarray] = {}
+_MATRIX_CACHE_MAX = 4096
+
+
+def _build_gate_matrix(gate: Gate) -> np.ndarray:
     validate_gate(gate)
     name, params = gate.name, gate.params
     if name == "id":

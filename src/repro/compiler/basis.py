@@ -16,22 +16,46 @@ Two passes are provided:
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.gate import Gate
+from ..circuits.gate import Gate, fast_gate
 from ..circuits.library import gate_matrix
 from ..physics.rotations import zyz_angles
+
+_EYE2 = np.eye(2, dtype=complex)
+_EYE2.setflags(write=False)
+
+
+def zyz_angles_cached(matrix: np.ndarray) -> Tuple[float, float, float]:
+    """Memoized :func:`~repro.physics.rotations.zyz_angles`.
+
+    Keyed by the matrix's exact bytes, so identical accumulated unitaries
+    (the common case — fusion re-derives the same products over and over)
+    return bit-identical cached angles without re-entering LAPACK.
+    """
+    key = matrix.tobytes()
+    hit = _ZYZ_CACHE.get(key)
+    if hit is None:
+        hit = zyz_angles(matrix)
+        if len(_ZYZ_CACHE) >= _ZYZ_CACHE_MAX:
+            _ZYZ_CACHE.clear()
+        _ZYZ_CACHE[key] = hit
+    return hit
+
+
+_ZYZ_CACHE: Dict[bytes, Tuple[float, float, float]] = {}
+_ZYZ_CACHE_MAX = 8192
 
 
 def decompose_to_two_qubit_gates(circuit: QuantumCircuit) -> QuantumCircuit:
     """Expand gates acting on three qubits into one- and two-qubit gates."""
     out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
     for gate in circuit:
-        if gate.num_qubits <= 2:
-            out.append(gate)
+        if len(gate.qubits) <= 2:
+            out._append_fast(gate)
         elif gate.name == "ccx":
             _append_toffoli(out, *gate.qubits)
         elif gate.name == "ccz":
@@ -45,22 +69,23 @@ def decompose_to_two_qubit_gates(circuit: QuantumCircuit) -> QuantumCircuit:
 
 
 def _append_toffoli(circuit: QuantumCircuit, c0: int, c1: int, target: int) -> None:
-    """Standard 6-CX Toffoli decomposition."""
-    circuit.h(target)
-    circuit.cx(c1, target)
-    circuit.tdg(target)
-    circuit.cx(c0, target)
-    circuit.t(target)
-    circuit.cx(c1, target)
-    circuit.tdg(target)
-    circuit.cx(c0, target)
-    circuit.t(c1)
-    circuit.t(target)
-    circuit.h(target)
-    circuit.cx(c0, c1)
-    circuit.t(c0)
-    circuit.tdg(c1)
-    circuit.cx(c0, c1)
+    """Standard 6-CX Toffoli decomposition (operands pre-validated)."""
+    append = circuit._append_fast
+    append(fast_gate("h", (target,)))
+    append(fast_gate("cx", (c1, target)))
+    append(fast_gate("tdg", (target,)))
+    append(fast_gate("cx", (c0, target)))
+    append(fast_gate("t", (target,)))
+    append(fast_gate("cx", (c1, target)))
+    append(fast_gate("tdg", (target,)))
+    append(fast_gate("cx", (c0, target)))
+    append(fast_gate("t", (c1,)))
+    append(fast_gate("t", (target,)))
+    append(fast_gate("h", (target,)))
+    append(fast_gate("cx", (c0, c1)))
+    append(fast_gate("t", (c0,)))
+    append(fast_gate("tdg", (c1,)))
+    append(fast_gate("cx", (c0, c1)))
 
 
 def rebase_to_cz_basis(circuit: QuantumCircuit, fuse: bool = True) -> QuantumCircuit:
@@ -84,56 +109,63 @@ def rebase_to_cz_basis(circuit: QuantumCircuit, fuse: bool = True) -> QuantumCir
     return expanded
 
 
+def _emit_cx(out: QuantumCircuit, control: int, target: int) -> None:
+    """Emit ``cx(control, target)`` in CZ form (``h cz h``), unchecked."""
+    append = out._append_fast
+    append(fast_gate("h", (target,)))
+    append(fast_gate("cz", (control, target)))
+    append(fast_gate("h", (target,)))
+
+
 def _rebase_gate(out: QuantumCircuit, gate: Gate) -> None:
-    if gate.is_single_qubit:
-        out.append(gate)
+    # All emissions are unchecked: operands come from an already-validated
+    # input gate and every rule produces library-valid {h, s, rz, cz} gates.
+    if len(gate.qubits) == 1:
+        out._append_fast(gate)
         return
     name = gate.name
     if name == "cz":
-        out.append(gate)
+        out._append_fast(gate)
         return
     if name == "cx":
         control, target = gate.qubits
-        out.h(target)
-        out.cz(control, target)
-        out.h(target)
+        _emit_cx(out, control, target)
         return
     if name == "swap":
         a, b = gate.qubits
         for control, target in ((a, b), (b, a), (a, b)):
-            out.h(target)
-            out.cz(control, target)
-            out.h(target)
+            _emit_cx(out, control, target)
         return
     if name == "rzz":
         a, b = gate.qubits
         theta = gate.params[0]
-        _rebase_gate(out, Gate("cx", (a, b)))
-        out.rz(theta, b)
-        _rebase_gate(out, Gate("cx", (a, b)))
+        _emit_cx(out, a, b)
+        out._append_fast(fast_gate("rz", (b,), (theta,)))
+        _emit_cx(out, a, b)
         return
     if name == "cp":
         a, b = gate.qubits
         theta = gate.params[0]
-        out.rz(theta / 2.0, a)
-        _rebase_gate(out, Gate("cx", (a, b)))
-        out.rz(-theta / 2.0, b)
-        _rebase_gate(out, Gate("cx", (a, b)))
-        out.rz(theta / 2.0, b)
+        out._append_fast(fast_gate("rz", (a,), (theta / 2.0,)))
+        _emit_cx(out, a, b)
+        out._append_fast(fast_gate("rz", (b,), (-theta / 2.0,)))
+        _emit_cx(out, a, b)
+        out._append_fast(fast_gate("rz", (b,), (theta / 2.0,)))
         return
     if name == "iswap":
         a, b = gate.qubits
         # iswap = (S ⊗ S) . H_a . CX(a,b) . CX(b,a) . H_b, with each CX in CZ form.
-        out.s(a)
-        out.s(b)
-        out.h(a)
-        out.h(b)
-        out.cz(a, b)
-        out.h(b)
-        out.h(a)
-        out.cz(b, a)
-        out.h(a)
-        out.h(b)
+        append = out._append_fast
+        append(fast_gate("s", (a,)))
+        append(fast_gate("s", (b,)))
+        append(fast_gate("h", (a,)))
+        append(fast_gate("h", (b,)))
+        append(fast_gate("cz", (a, b)))
+        append(fast_gate("h", (b,)))
+        append(fast_gate("h", (a,)))
+        append(fast_gate("cz", (b, a)))
+        append(fast_gate("h", (a,)))
+        append(fast_gate("h", (b,)))
         return
     raise ValueError(f"no CZ-basis rule for two-qubit gate '{gate.name}'")
 
@@ -145,25 +177,29 @@ def fuse_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
     dropped entirely.
     """
     out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    append = out._append_fast
     pending: Dict[int, np.ndarray] = {}
+    pop = pending.pop
 
     def flush(qubit: int) -> None:
-        matrix = pending.pop(qubit, None)
+        matrix = pop(qubit, None)
         if matrix is None:
             return
         gate = u3_gate_from_matrix(matrix, qubit)
         if gate is not None:
-            out.append(gate)
+            append(gate)
 
     for gate in circuit:
-        if gate.is_single_qubit:
+        if len(gate.qubits) == 1:
             qubit = gate.qubits[0]
-            matrix = gate_matrix(gate)
-            pending[qubit] = matrix @ pending.get(qubit, np.eye(2, dtype=complex))
+            # The initial `@ _EYE2` looks redundant but is load-bearing: it
+            # normalises -0.0 components exactly as the accumulated products
+            # do, keeping zyz phases (and so fingerprints) bit-identical.
+            pending[qubit] = gate_matrix(gate) @ pending.get(qubit, _EYE2)
         else:
             for qubit in gate.qubits:
                 flush(qubit)
-            out.append(gate)
+            append(gate)
     for qubit in sorted(pending):
         flush(qubit)
     return out
@@ -176,14 +212,14 @@ def u3_gate_from_matrix(matrix: np.ndarray, qubit: int, tol: float = 1e-9) -> Op
     to emit).  Shared by the rebase-time fusion and the commutation-aware
     fusion pass of :mod:`repro.compiler.optimization`.
     """
-    alpha, theta, beta = zyz_angles(matrix)
+    alpha, theta, beta = zyz_angles_cached(matrix)
     if abs(theta) < tol:
         phase = alpha + beta
         if abs(math.remainder(phase, 2.0 * math.pi)) < tol:
             return None
-        return Gate("rz", (qubit,), (phase,))
+        return fast_gate("rz", (qubit,), (phase,))
     # U3(theta, phi, lam) ~ Rz(phi) Ry(theta) Rz(lam) with phi=beta, lam=alpha.
-    return Gate("u3", (qubit,), (theta, beta, alpha))
+    return fast_gate("u3", (qubit,), (theta, beta, alpha))
 
 
 def count_basis_violations(circuit: QuantumCircuit, basis=("u3", "rz", "cz")) -> int:

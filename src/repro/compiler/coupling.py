@@ -98,10 +98,45 @@ class CouplingMap:
         self._check_qubit(a)
         return b in self._adjacency[a]
 
+    # -- distances ----------------------------------------------------------------
+
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs coupling-graph distances as an ``(n, n)`` int ndarray.
+
+        Built once per instance and cached; regular topologies fill it with
+        closed forms (:meth:`_build_distance_matrix` override) instead of
+        per-source BFS, so routers can score from O(1) array reads.  The
+        returned array is read-only — it is shared, not a copy.
+        """
+        return self._distance_matrix_cache
+
+    @cached_property
+    def _distance_matrix_cache(self) -> np.ndarray:
+        matrix = self._build_distance_matrix()
+        matrix.setflags(write=False)
+        return matrix
+
+    def _build_distance_matrix(self) -> np.ndarray:
+        """Generic all-pairs builder: one BFS per source qubit."""
+        n = self.num_qubits
+        matrix = np.zeros((n, n), dtype=np.int32)
+        for source in range(n):
+            row = matrix[source]
+            for qubit, dist in self._distances_from(source).items():
+                row[qubit] = dist
+        return matrix
+
+    @cached_property
+    def _distance_flat(self) -> List[int]:
+        # Row-major Python-int view of distance_matrix(): the router inner
+        # loop reads `flat[a * n + b]`, which beats ndarray scalar indexing.
+        return self.distance_matrix().ravel().tolist()
+
     def distance(self, a: int, b: int) -> int:
-        """Coupling-graph distance between two qubits."""
+        """Coupling-graph distance between two qubits (O(1) array read)."""
+        self._check_qubit(a)
         self._check_qubit(b)
-        return self._distances_from(a)[b]
+        return self._distance_flat[a * self.num_qubits + b]
 
     def shortest_path(self, a: int, b: int) -> List[int]:
         """One deterministic shortest path from ``a`` to ``b`` (inclusive).
@@ -124,9 +159,34 @@ class CouplingMap:
 
         The generic implementation pairs the lowest-index greedy walk with
         its highest-index mirror, which explores two different "sides" of
-        the graph; regular topologies override this with their canonical
-        path families (e.g. the grid's two L-paths).
+        the graph; regular topologies override
+        :meth:`_compute_candidate_paths` with their canonical path families
+        (e.g. the grid's two L-paths).  Results are memoized per ``(a, b)``;
+        callers receive fresh lists, so mutating them cannot corrupt the
+        cache.
         """
+        return [list(path) for path in self.cached_candidate_paths(a, b)]
+
+    def cached_candidate_paths(self, a: int, b: int) -> Tuple[Tuple[int, ...], ...]:
+        """Memoized candidate paths as immutable tuples (router hot path).
+
+        The same non-adjacent operand pair recurs on every repetition of a
+        circuit's interaction pattern, so the router would otherwise rebuild
+        identical path lists thousands of times per compile.
+        """
+        cache = self._candidate_path_cache
+        key = (a, b)
+        hit = cache.get(key)
+        if hit is None:
+            hit = tuple(tuple(path) for path in self._compute_candidate_paths(a, b))
+            cache[key] = hit
+        return hit
+
+    @cached_property
+    def _candidate_path_cache(self) -> Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]]:
+        return {}
+
+    def _compute_candidate_paths(self, a: int, b: int) -> List[List[int]]:
         low = self.shortest_path(a, b)
         distances = self._distances_from(b)
         high = [a]
@@ -268,6 +328,14 @@ class GridCouplingMap(CouplingMap):
         rb, cb = self.position(b)
         return abs(ra - rb) + abs(ca - cb)
 
+    def _build_distance_matrix(self) -> np.ndarray:
+        """Closed-form all-pairs Manhattan distances (no BFS)."""
+        indices = np.arange(self.num_qubits)
+        rows = indices // self.cols
+        cols = indices % self.cols
+        matrix = np.abs(rows[:, None] - rows[None, :]) + np.abs(cols[:, None] - cols[None, :])
+        return matrix.astype(np.int32)
+
     def shortest_path(self, a: int, b: int) -> List[int]:
         """One shortest path from ``a`` to ``b`` (inclusive), row-first then column."""
         ra, ca = self.position(a)
@@ -288,7 +356,12 @@ class GridCouplingMap(CouplingMap):
 
         These are the deterministic candidates the lookahead router scores;
         the stochastic router instead samples arbitrary monotone staircases.
+        Served from the per-(a, b) candidate cache as fresh lists.
         """
+        return [list(path) for path in self.cached_candidate_paths(a, b)]
+
+    def _compute_candidate_paths(self, a: int, b: int) -> List[List[int]]:
+        """Deterministic candidates on the grid: the canonical L-paths."""
         ra, ca = self.position(a)
         rb, cb = self.position(b)
         row_first = self.shortest_path(a, b)
@@ -303,10 +376,6 @@ class GridCouplingMap(CouplingMap):
             row += 1 if rb > row else -1
             col_first.append(self.index(row, col))
         return [row_first, col_first]
-
-    def candidate_paths(self, a: int, b: int) -> List[List[int]]:
-        """Deterministic candidates on the grid: the canonical L-paths."""
-        return self.monotone_paths(a, b)
 
     def random_shortest_path(self, a: int, b: int, rng: np.random.Generator) -> List[int]:
         """A shortest grid path from ``a`` to ``b``, randomising row/column order."""
@@ -390,13 +459,18 @@ class LineCouplingMap(CouplingMap):
         self._check_qubit(b)
         return abs(a - b)
 
+    def _build_distance_matrix(self) -> np.ndarray:
+        """Closed-form all-pairs chain distances ``|i - j|`` (no BFS)."""
+        indices = np.arange(self.num_sites)
+        return np.abs(indices[:, None] - indices[None, :]).astype(np.int32)
+
     def shortest_path(self, a: int, b: int) -> List[int]:
         self._check_qubit(a)
         self._check_qubit(b)
         step = 1 if b >= a else -1
         return list(range(a, b + step, step))
 
-    def candidate_paths(self, a: int, b: int) -> List[List[int]]:
+    def _compute_candidate_paths(self, a: int, b: int) -> List[List[int]]:
         return [self.shortest_path(a, b)]
 
     def random_shortest_path(self, a: int, b: int, rng: np.random.Generator) -> List[int]:
@@ -520,6 +594,16 @@ class TorusCouplingMap(CouplingMap):
         dc = abs(ca - cb)
         return min(dr, self.rows - dr) + min(dc, self.cols - dc)
 
+    def _build_distance_matrix(self) -> np.ndarray:
+        """Closed-form all-pairs torus distances (per-axis min-wrap, no BFS)."""
+        indices = np.arange(self.num_qubits)
+        rows = indices // self.cols
+        cols = indices % self.cols
+        dr = np.abs(rows[:, None] - rows[None, :])
+        dc = np.abs(cols[:, None] - cols[None, :])
+        matrix = np.minimum(dr, self.rows - dr) + np.minimum(dc, self.cols - dc)
+        return matrix.astype(np.int32)
+
     def shortest_path(self, a: int, b: int) -> List[int]:
         """One shortest path (inclusive): rows the short way, then columns."""
         ra, ca = self.position(a)
@@ -536,7 +620,7 @@ class TorusCouplingMap(CouplingMap):
             path.append(self.index(row, col))
         return path
 
-    def candidate_paths(self, a: int, b: int) -> List[List[int]]:
+    def _compute_candidate_paths(self, a: int, b: int) -> List[List[int]]:
         """The two canonical L-paths (row-first / column-first), short way around."""
         ra, ca = self.position(a)
         rb, cb = self.position(b)

@@ -69,8 +69,24 @@ class Layout:
             self._p2l.pop(physical_a, None)
 
     def copy(self) -> "Layout":
-        """An independent copy of this layout."""
-        return Layout(self._l2p, self.num_physical)
+        """An independent copy of this layout.
+
+        Copies of a valid layout are valid by construction, so this skips
+        the public constructor's bijection/range validation — the router
+        copies layouts in its inner loop.
+        """
+        return Layout._from_maps(dict(self._l2p), dict(self._p2l), self.num_physical)
+
+    @classmethod
+    def _from_maps(
+        cls, l2p: Dict[int, int], p2l: Dict[int, int], num_physical: int
+    ) -> "Layout":
+        """Unchecked constructor from already-consistent maps (internal)."""
+        layout = object.__new__(cls)
+        layout._l2p = l2p
+        layout._p2l = p2l
+        layout.num_physical = num_physical
+        return layout
 
 
 def trivial_layout(circuit: QuantumCircuit, coupling: CouplingMap) -> Layout:

@@ -16,10 +16,10 @@ scheduled depth.  This is the ``-O2`` router of
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.gate import Gate
+from ..circuits.gate import fast_gate
 from .coupling import CouplingMap
 from .layout import Layout
 from .passes import PropertySet, TransformationPass
@@ -66,24 +66,38 @@ def lookahead_route_circuit(
         (gate.qubits[0], gate.qubits[1]) for gate in circuit if gate.is_two_qubit
     ]
 
+    # Hot-loop locals: the layout's forward map is mutated in place by
+    # insert_swaps_along_path, so holding the dict itself is safe; every
+    # emitted gate is library-valid with in-range physical operands, so the
+    # unchecked append applies.
+    l2p = layout._l2p
+    adjacency = coupling._adjacency
+    append = routed._append_fast
+
     position = 0  # index into ``pairs`` of the next two-qubit gate
     for gate in circuit:
-        if gate.is_single_qubit:
-            routed.append(gate.remapped({gate.qubits[0]: layout.physical(gate.qubits[0])}))
+        qubits = gate.qubits
+        if len(qubits) == 1:
+            physical = l2p[qubits[0]]
+            append(
+                gate
+                if physical == qubits[0]
+                else fast_gate(gate.name, (physical,), gate.params)
+            )
             continue
 
-        logical_a, logical_b = gate.qubits
-        physical_a = layout.physical(logical_a)
-        physical_b = layout.physical(logical_b)
-        if not coupling.are_coupled(physical_a, physical_b):
+        logical_a, logical_b = qubits
+        physical_a = l2p[logical_a]
+        physical_b = l2p[logical_b]
+        if physical_b not in adjacency[physical_a]:
             window = pairs[position + 1 : position + 1 + lookahead]
             path, meeting = _best_candidate(
                 coupling, layout, physical_a, physical_b, window, decay
             )
             num_swaps += insert_swaps_along_path(routed, layout, path, meeting)
-            physical_a = layout.physical(logical_a)
-            physical_b = layout.physical(logical_b)
-        routed.append(Gate(gate.name, (physical_a, physical_b), gate.params))
+            physical_a = l2p[logical_a]
+            physical_b = l2p[logical_b]
+        append(fast_gate(gate.name, (physical_a, physical_b), gate.params))
         position += 1
 
     return RoutingResult(
@@ -101,13 +115,105 @@ def _best_candidate(
     end: int,
     window: List[Tuple[int, int]],
     decay: float,
-) -> Tuple[List[int], int]:
+) -> Tuple[Sequence[int], int]:
     """The (path, meeting) candidate minimising the lookahead cost.
 
     Candidates are the coupling map's deterministic candidate paths (the
-    canonical L-paths on the grid) times every meeting coupler on the path.  Cost is the decay-weighted sum of post-SWAP distances between the
+    canonical L-paths on the grid) times every meeting coupler on the path.
+    Cost is the decay-weighted sum of post-SWAP distances between the
     operands of the upcoming two-qubit gates.  Ties break on the first
     candidate in enumeration order, keeping the router deterministic.
+
+    Incremental scoring: instead of copying the layout and replaying the
+    SWAP walk per candidate, the candidate permutation is evaluated in
+    closed form on only the path's qubits — the occupant at path index
+    ``i`` lands at ``path[meeting]`` (i == 0), ``path[i - 1]``
+    (1 <= i <= meeting), ``path[meeting + 1]`` (i == last) or
+    ``path[i + 1]`` otherwise.  Window pairs with no operand on any
+    candidate path keep the same distance under every candidate, so they
+    shift all costs by one common constant and are skipped outright; the
+    remaining per-pair terms are exact, so the argmin (and its
+    deterministic tie-break) is identical to the reference scorer's.
+    :func:`_best_candidate_reference` retains the replay implementation
+    for cross-checking.
+    """
+    paths = coupling.cached_candidate_paths(start, end)
+    if not window:
+        return paths[0], 0
+
+    movable = set()
+    for path in paths:
+        movable.update(path)
+
+    l2p = layout._l2p
+    # (weight, physical_a, physical_b) for window pairs the candidate
+    # permutation can actually move; weights decay over the *full* window,
+    # exactly as the reference accumulates them.
+    relevant = []
+    weight = 1.0
+    for logical_a, logical_b in window:
+        physical_a = l2p[logical_a]
+        physical_b = l2p[logical_b]
+        if physical_a in movable or physical_b in movable:
+            relevant.append((weight, physical_a, physical_b))
+        weight *= decay
+    if not relevant:
+        return paths[0], 0
+
+    n = coupling.num_qubits
+    dist = coupling._distance_flat
+    best_path: Sequence[int] = paths[0]
+    best_meeting = 0
+    best_cost = None
+    for path in paths:
+        last = len(path) - 1
+        index_of = {physical: i for i, physical in enumerate(path)}
+        get_index = index_of.get
+        meetings = range(last) if last >= 2 else (0,)
+        for meeting in meetings:
+            cost = 0.0
+            for weight, physical_a, physical_b in relevant:
+                i = get_index(physical_a)
+                if i is not None:
+                    if i == 0:
+                        physical_a = path[meeting]
+                    elif i <= meeting:
+                        physical_a = path[i - 1]
+                    elif i == last:
+                        physical_a = path[meeting + 1]
+                    else:
+                        physical_a = path[i + 1]
+                i = get_index(physical_b)
+                if i is not None:
+                    if i == 0:
+                        physical_b = path[meeting]
+                    elif i <= meeting:
+                        physical_b = path[i - 1]
+                    elif i == last:
+                        physical_b = path[meeting + 1]
+                    else:
+                        physical_b = path[i + 1]
+                cost += weight * dist[physical_a * n + physical_b]
+            if best_cost is None or cost < best_cost - 1e-12:
+                best_cost = cost
+                best_path = path
+                best_meeting = meeting
+    return best_path, best_meeting
+
+
+def _best_candidate_reference(
+    coupling: CouplingMap,
+    layout: Layout,
+    start: int,
+    end: int,
+    window: List[Tuple[int, int]],
+    decay: float,
+) -> Tuple[List[int], int]:
+    """Naive reference scorer: copy the layout and replay the SWAP walk.
+
+    This is the pre-optimization implementation of :func:`_best_candidate`,
+    kept as the ground truth the incremental scorer is cross-checked
+    against (see ``tests/compiler/test_lookahead_scorer.py``).
     """
     best_path: List[int] = []
     best_meeting = 0

@@ -27,11 +27,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.gate import Gate
+from ..circuits.gate import Gate, fast_gate
 from ..circuits.library import gate_matrix, inverse_gate
 from ..physics.rotations import rz as rz_matrix
-from ..physics.rotations import zyz_angles
-from .basis import u3_gate_from_matrix
+from .basis import _EYE2, u3_gate_from_matrix, zyz_angles_cached
 from .passes import PropertySet, TransformationPass
 
 #: Two-qubit gates whose matrix is diagonal: Z-axis rotations commute with
@@ -95,46 +94,62 @@ def cancel_inverse_gates(circuit: QuantumCircuit) -> QuantumCircuit:
 
     Cascades: removing a pair can make an enclosing pair adjacent
     (``t cx cx tdg`` collapses completely).
+
+    Returns the *input circuit object* unchanged when no pair fires, so
+    callers (and :class:`~repro.compiler.passes.PassManager`) can detect the
+    no-op by identity and skip downstream work.
     """
     gates: List[Optional[Gate]] = []
     history: Dict[int, List[int]] = {}  # qubit -> indices of live gates on it
-
-    def last_index(qubit: int) -> Optional[int]:
-        stack = history.get(qubit)
-        return stack[-1] if stack else None
+    changed = False
 
     def remove(index: int) -> None:
         for qubit in gates[index].qubits:
             history[qubit].pop()
         gates[index] = None
 
+    get_stack = history.get
     for gate in circuit:
-        previous = last_index(gate.qubits[0])
-        if (
-            previous is not None
-            and all(last_index(q) == previous for q in gate.qubits)
-            and gates[previous].num_qubits == gate.num_qubits
-        ):
+        qubits = gate.qubits
+        stack = get_stack(qubits[0])
+        previous = stack[-1] if stack else None
+        if previous is not None:
             earlier = gates[previous]
-            if _is_inverse_pair(earlier, gate):
-                remove(previous)
-                continue
-            merged = _merge_rotations(earlier, gate)
-            if merged is _IDENTITY:
-                remove(previous)
-                continue
-            if merged is not None:
-                gates[previous] = merged
-                continue
+            # Dependency adjacency: every operand's latest live gate must be
+            # this same one (the first operand's check is already done).
+            if len(earlier.qubits) == len(qubits) and all(
+                (other := get_stack(q)) and other[-1] == previous
+                for q in qubits[1:]
+            ):
+                if _is_inverse_pair(earlier, gate):
+                    remove(previous)
+                    changed = True
+                    continue
+                merged = _merge_rotations(earlier, gate)
+                if merged is _IDENTITY:
+                    remove(previous)
+                    changed = True
+                    continue
+                if merged is not None:
+                    gates[previous] = merged
+                    changed = True
+                    continue
         index = len(gates)
         gates.append(gate)
-        for qubit in gate.qubits:
-            history.setdefault(qubit, []).append(index)
+        for qubit in qubits:
+            stack = get_stack(qubit)
+            if stack is None:
+                history[qubit] = [index]
+            else:
+                stack.append(index)
 
+    if not changed:
+        return circuit
     out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    append = out._append_fast
     for gate in gates:
         if gate is not None:
-            out.append(gate)
+            append(gate)
     return out
 
 
@@ -150,15 +165,19 @@ def commutation_aware_fusion(circuit: QuantumCircuit) -> QuantumCircuit:
 
     The carry is skipped on a qubit with no later single-qubit gates (the
     split would then *add* a gate instead of saving one).
+
+    Returns the *input circuit object* unchanged when fusion changes
+    nothing, so callers can detect the no-op by identity.
     """
     out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    append = out._append_fast
     pending: Dict[int, np.ndarray] = {}
 
     # Position of each qubit's last single-qubit gate: carrying a Z factor
     # past a barrier only pays off if something later can absorb it.
     last_single: Dict[int, int] = {}
     for position, gate in enumerate(circuit):
-        if gate.is_single_qubit:
+        if len(gate.qubits) == 1:
             last_single[gate.qubits[0]] = position
 
     def flush(qubit: int) -> None:
@@ -167,25 +186,28 @@ def commutation_aware_fusion(circuit: QuantumCircuit) -> QuantumCircuit:
             return
         emitted = u3_gate_from_matrix(matrix, qubit)
         if emitted is not None:
-            out.append(emitted)
+            append(emitted)
 
     def carry_through(qubit: int) -> None:
         matrix = pending.get(qubit)
         if matrix is None:
             return
-        alpha, theta, beta = zyz_angles(matrix)
+        alpha, theta, beta = zyz_angles_cached(matrix)
         if abs(theta) < _TOL:
             return  # fully diagonal: the whole pending commutes through
         # Emit the non-commuting part, carry the diagonal left factor.
         pending.pop(qubit)
-        out.append(Gate("u3", (qubit,), (theta, 0.0, alpha)))
+        append(fast_gate("u3", (qubit,), (theta, 0.0, alpha)))
         if abs(math.remainder(beta, 2.0 * math.pi)) >= _TOL:
             pending[qubit] = rz_matrix(beta)
 
     for position, gate in enumerate(circuit):
-        if gate.is_single_qubit:
+        if len(gate.qubits) == 1:
             qubit = gate.qubits[0]
-            pending[qubit] = gate_matrix(gate) @ pending.get(qubit, np.eye(2, dtype=complex))
+            # The initial `@ _EYE2` is load-bearing: it normalises -0.0
+            # components exactly as accumulated products do, keeping zyz
+            # phases (and so fingerprints) bit-identical.
+            pending[qubit] = gate_matrix(gate) @ pending.get(qubit, _EYE2)
             continue
         if gate.name in DIAGONAL_TWO_QUBIT:
             for qubit in gate.qubits:
@@ -196,9 +218,11 @@ def commutation_aware_fusion(circuit: QuantumCircuit) -> QuantumCircuit:
         else:
             for qubit in gate.qubits:
                 flush(qubit)
-        out.append(gate)
+        append(gate)
     for qubit in sorted(pending):
         flush(qubit)
+    if out._gates == circuit._gates:
+        return circuit
     return out
 
 

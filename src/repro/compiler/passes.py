@@ -198,10 +198,16 @@ class PassManager:
             if result is not None:
                 if pass_.kind == "analysis":
                     raise TypeError(f"analysis pass '{pass_.name}' must not return a circuit")
-                circuit = result
-                gates_after = len(circuit)
-                two_qubit_after = circuit.num_two_qubit_gates()
-                depth_after = circuit.depth()
+                if result is circuit:
+                    # The pass declared a no-op by returning the input object
+                    # (e.g. cancel_inverse_gates with nothing to cancel); the
+                    # boundary metrics are unchanged by definition.
+                    gates_after, two_qubit_after, depth_after = gates, two_qubit, depth
+                else:
+                    circuit = result
+                    gates_after = len(circuit)
+                    two_qubit_after = circuit.num_two_qubit_gates()
+                    depth_after = circuit.depth()
             else:
                 gates_after, two_qubit_after, depth_after = gates, two_qubit, depth
             trace.append(
@@ -301,10 +307,11 @@ class ValidateCoupling(AnalysisPass):
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
         coupling = properties.device_coupling(self.name)
+        adjacency = coupling._adjacency
         violations = sum(
             1
             for gate in circuit
-            if gate.is_two_qubit and not coupling.are_coupled(*gate.qubits)
+            if len(gate.qubits) == 2 and gate.qubits[1] not in adjacency[gate.qubits[0]]
         )
         properties["coupling_violations"] = violations
         if violations:

@@ -18,7 +18,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.gate import Gate
+from ..circuits.gate import fast_gate
 from .coupling import CouplingMap
 from .layout import Layout
 
@@ -87,23 +87,37 @@ def _route_once(
     routed = QuantumCircuit(coupling.num_qubits, name=f"{circuit.name}_routed")
     num_swaps = 0
 
+    # Hot-loop locals: the layout's forward map is mutated in place by
+    # insert_swaps_along_path, so holding the dict itself is safe; every
+    # emitted gate is library-valid with in-range physical operands, so the
+    # unchecked append applies.
+    l2p = layout._l2p
+    adjacency = coupling._adjacency
+    append = routed._append_fast
+
     for gate in circuit:
-        if gate.is_single_qubit:
-            routed.append(gate.remapped({gate.qubits[0]: layout.physical(gate.qubits[0])}))
+        qubits = gate.qubits
+        if len(qubits) == 1:
+            physical = l2p[qubits[0]]
+            append(
+                gate
+                if physical == qubits[0]
+                else fast_gate(gate.name, (physical,), gate.params)
+            )
             continue
 
-        logical_a, logical_b = gate.qubits
-        physical_a = layout.physical(logical_a)
-        physical_b = layout.physical(logical_b)
-        if not coupling.are_coupled(physical_a, physical_b):
+        logical_a, logical_b = qubits
+        physical_a = l2p[logical_a]
+        physical_b = l2p[logical_b]
+        if physical_b not in adjacency[physical_a]:
             path = coupling.random_shortest_path(physical_a, physical_b, rng)
             # The random meeting coupler distributes the movement between the
             # endpoints (the stochastic element that gives the router its name).
             meeting = int(rng.integers(0, len(path) - 1)) if len(path) >= 3 else 0
             num_swaps += insert_swaps_along_path(routed, layout, path, meeting)
-            physical_a = layout.physical(logical_a)
-            physical_b = layout.physical(logical_b)
-        routed.append(Gate(gate.name, (physical_a, physical_b), gate.params))
+            physical_a = l2p[logical_a]
+            physical_b = l2p[logical_b]
+        append(fast_gate(gate.name, (physical_a, physical_b), gate.params))
 
     return RoutingResult(
         circuit=routed,
@@ -134,13 +148,13 @@ def insert_swaps_along_path(
     # Walk the left endpoint right up to path[meeting].
     for i in range(meeting):
         if circuit is not None:
-            circuit.swap(path[i], path[i + 1])
+            circuit._append_fast(fast_gate("swap", (path[i], path[i + 1])))
         layout.swap_physical(path[i], path[i + 1])
         num_swaps += 1
     # Walk the right endpoint left down to path[meeting + 1].
     for i in range(len(path) - 1, meeting + 1, -1):
         if circuit is not None:
-            circuit.swap(path[i], path[i - 1])
+            circuit._append_fast(fast_gate("swap", (path[i], path[i - 1])))
         layout.swap_physical(path[i], path[i - 1])
         num_swaps += 1
     return num_swaps

@@ -16,7 +16,7 @@ execution-time model consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import Gate
@@ -113,38 +113,52 @@ def crosstalk_aware_schedule(
     """
     moments: List[Moment] = []
     moment_qubits: List[Set[int]] = []
-    moment_couplers: List[Set[Tuple[int, int]]] = []
+    # Per-moment closure of crosstalk-blocked qubits: a two-qubit gate on
+    # (u, v) blocks u, v, and every direct neighbour of either, so a later
+    # two-qubit gate conflicts iff one of its endpoints lands in the
+    # closure.  Equivalent to the pairwise :func:`_couplers_adjacent` scan
+    # over the moment's couplers, without the scan.
+    moment_blocked: List[Set[int]] = []
     frontier = [0] * circuit.num_qubits
+    adjacency = coupling._adjacency if coupling is not None else None
+    closure_cache: Dict[Tuple[int, int], Set[int]] = {}
 
-    def conflicts(moment_index: int, gate: Gate) -> bool:
-        if moment_qubits[moment_index] & set(gate.qubits):
-            return True
-        if gate.is_two_qubit and coupling is not None:
-            coupler = tuple(sorted(gate.qubits))
-            blocked = moment_couplers[moment_index]
-            if coupler in blocked:
-                return True
-            for other in blocked:
-                if _couplers_adjacent(coupling, coupler, other):
-                    return True
-        return False
+    def closure(coupler: Tuple[int, int]) -> Set[int]:
+        hit = closure_cache.get(coupler)
+        if hit is None:
+            u, v = coupler
+            hit = {u, v}
+            hit.update(adjacency[u])
+            hit.update(adjacency[v])
+            closure_cache[coupler] = hit
+        return hit
 
     for gate in circuit:
-        earliest = max(frontier[q] for q in gate.qubits)
-        index = earliest
+        qubits = gate.qubits
+        if len(qubits) == 1:
+            index = frontier[qubits[0]]
+            check_crosstalk = False
+        else:
+            index = max(frontier[q] for q in qubits)
+            check_crosstalk = adjacency is not None and len(qubits) == 2
         while True:
             while len(moments) <= index:
                 moments.append(Moment())
                 moment_qubits.append(set())
-                moment_couplers.append(set())
-            if not conflicts(index, gate):
-                break
+                moment_blocked.append(set())
+            used = moment_qubits[index]
+            if not any(q in used for q in qubits):
+                if not check_crosstalk:
+                    break
+                blocked = moment_blocked[index]
+                if qubits[0] not in blocked and qubits[1] not in blocked:
+                    break
             index += 1
         moments[index].gates.append(gate)
-        moment_qubits[index].update(gate.qubits)
-        if gate.is_two_qubit:
-            moment_couplers[index].add(tuple(sorted(gate.qubits)))
-        for q in gate.qubits:
+        moment_qubits[index].update(qubits)
+        if check_crosstalk:
+            moment_blocked[index].update(closure(tuple(sorted(qubits))))
+        for q in qubits:
             frontier[q] = index + 1
     return Schedule(moments=moments, num_qubits=circuit.num_qubits)
 

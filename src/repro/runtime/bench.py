@@ -9,15 +9,18 @@ schema-versioned report (:data:`BENCH_SCHEMA`).
 :func:`bench_main` (the ``repro bench`` subcommand) writes the report to
 ``BENCH_<rev>.json`` — ``rev`` defaults to the short git revision — and can
 gate CI with ``--check BASELINE``: the run fails when any benchmark's
-compile throughput — or, for fidelity runs, its Monte-Carlo trajectory
-throughput — drops more than ``--tolerance`` (default 25%) below the
-committed baseline.
+compile throughput (at both the default level and ``-O2``) — or, for
+fidelity runs, its Monte-Carlo trajectory throughput — drops more than
+``--tolerance`` (default 25%) below the committed baseline.
+``--pass-table`` prints where compile time goes pass by pass, and
+``--profile-out PROF`` dumps a cProfile of the whole run for deeper hunts.
 
 Examples::
 
     python -m repro.runtime bench --quick
     python -m repro.runtime bench --quick --fidelity --rev baseline
     python -m repro.runtime bench --quick --check BENCH_baseline.json
+    python -m repro.runtime bench --quick --pass-table --profile-out bench.prof
 """
 
 from __future__ import annotations
@@ -146,6 +149,16 @@ def run_bench(
             bench_compile(name, profile["qubits"], profile["repeats"], opt_level)
             for name in benchmarks
         ]
+        # -O2 exercises the full pipeline (lookahead routing + fusion) and is
+        # regression-gated per benchmark like the default level; when the run
+        # already times -O2 the rows are shared instead of re-measured.
+        if opt_level == 2:
+            compile_o2_rows = compile_rows
+        else:
+            compile_o2_rows = [
+                bench_compile(name, profile["qubits"], profile["repeats"], 2)
+                for name in benchmarks
+            ]
         fidelity_rows = None
         if fidelity:
             fidelity_rows = [
@@ -169,6 +182,7 @@ def run_bench(
             "repeats": profile["repeats"],
         },
         "compile": compile_rows,
+        "compile_o2": compile_o2_rows,
         "telemetry": {
             "spans": aggregate_spans(spans),
             "metrics": _metrics_delta(metrics_before, telemetry.snapshot_metrics()),
@@ -207,6 +221,7 @@ def check_regression(
     failures = []
     stages = (
         ("compile", "throughput_per_s", "compile throughput"),
+        ("compile_o2", "throughput_per_s", "compile throughput (-O2)"),
         ("fidelity", "throughput_traj_per_s", "trajectory throughput"),
     )
     for section, column, label in stages:
@@ -257,6 +272,34 @@ def _compile_table(rows: Sequence[Mapping[str, object]]) -> List[Dict[str, objec
     ]
 
 
+#: Span-name prefix of the per-pass compile telemetry spans.
+_PASS_SPAN_PREFIX = "compile.pass."
+
+
+def pass_time_table(report: Mapping[str, object]) -> List[Dict[str, object]]:
+    """Per-pass wall-time share rows from a bench report's telemetry spans.
+
+    Every compilation is already traced with one ``compile.pass.<Name>``
+    span per pass, so the report's aggregated spans directly answer "where
+    does compile time go".  ``share`` is each pass's fraction of the total
+    time spent inside passes (pipeline overhead outside passes is excluded).
+    Rows come pre-sorted by total time, slowest pass first.
+    """
+    spans = (report.get("telemetry") or {}).get("spans") or []
+    pass_rows = [row for row in spans if row["span"].startswith(_PASS_SPAN_PREFIX)]
+    total = sum(row["total_s"] for row in pass_rows)
+    return [
+        {
+            "pass": row["span"][len(_PASS_SPAN_PREFIX):],
+            "count": row["count"],
+            "total_s": f"{row['total_s']:.3f}",
+            "mean_ms": f"{row['mean_s'] * 1000.0:.2f}",
+            "share": f"{row['total_s'] / total * 100.0:.1f}%" if total else "n/a",
+        }
+        for row in pass_rows
+    ]
+
+
 def _fidelity_table(rows: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
     return [
         {
@@ -301,6 +344,15 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="directory the BENCH_<rev>.json report is written to (default .)",
     )
     parser.add_argument(
+        "--pass-table", action="store_true",
+        help="print the per-pass compile wall-time share table",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PROF",
+        help="dump a cProfile of the whole bench run to this file "
+        "(inspect with `python -m pstats PROF`)",
+    )
+    parser.add_argument(
         "--check", default=None, metavar="BASELINE",
         help="fail (exit 1) if compile or trajectory throughput regresses "
         "below this BENCH_*.json baseline by more than --tolerance",
@@ -320,6 +372,12 @@ def bench_main(argv: Sequence[str]) -> int:
         parser.error("--tolerance must be in [0, 1)")
 
     rev = args.rev if args.rev is not None else _git_rev()
+    profiler = None
+    if args.profile_out:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     report = run_bench(
         benchmarks=args.benchmarks,
         quick=args.quick,
@@ -327,10 +385,20 @@ def bench_main(argv: Sequence[str]) -> int:
         opt_level=args.opt_level,
         rev=rev,
     )
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(args.profile_out)
     out_path = Path(args.output_dir) / f"BENCH_{rev}.json"
     out_path.write_text(json.dumps(report, sort_keys=True, indent=2) + "\n")
 
     print(format_table(_compile_table(report["compile"]), title="Compile throughput"))
+    if report.get("compile_o2") is not report["compile"]:
+        print()
+        print(
+            format_table(
+                _compile_table(report["compile_o2"]), title="Compile throughput (-O2)"
+            )
+        )
     if "fidelity" in report:
         print()
         print(
@@ -338,7 +406,12 @@ def bench_main(argv: Sequence[str]) -> int:
                 _fidelity_table(report["fidelity"]), title="Trajectory throughput"
             )
         )
+    if args.pass_table:
+        print()
+        print(format_table(pass_time_table(report), title="Compile time by pass"))
     print(f"\nwrote {out_path}")
+    if profiler is not None:
+        print(f"wrote profile to {args.profile_out}")
 
     if args.check:
         baseline = json.loads(Path(args.check).read_text())

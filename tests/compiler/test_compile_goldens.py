@@ -1,0 +1,89 @@
+"""Byte-identical compile goldens across opt levels and topologies.
+
+The fingerprints in ``golden_compile_fingerprints.json`` were captured from
+the compiler *before* the raw-speed optimization pass (incremental lookahead
+scoring, cached distance tables, zero-churn circuit plumbing).  Every entry
+pins the exact gate stream — name, operands, parameters to 13 significant
+figures — plus gate count, depth, and SWAP count, so any behavioural drift
+in the fast paths shows up as a hash mismatch, not a silent quality change.
+
+Covered: all six Table IV benchmarks at 8 and 16 requested qubits times
+``-O0``/``-O1``/``-O2`` on the default grid (36 entries), plus ``ising``,
+``sqrt``, and ``qft`` at ``-O2`` on the line, heavy-hex, and torus
+topologies (9 entries).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.circuits.benchmarks import TABLE_IV_NAMES, build_benchmark
+from repro.circuits.circuit import circuit_fingerprint
+from repro.compiler import compile_circuit
+from repro.compiler.coupling import (
+    LineCouplingMap,
+    smallest_heavy_hex_for,
+    smallest_torus_for,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden_compile_fingerprints.json"
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+#: Non-grid topologies pinned at -O2 (matches the golden capture script).
+TOPOLOGY_FACTORIES = {
+    "line": lambda n: LineCouplingMap(num_sites=n),
+    "heavy_hex": smallest_heavy_hex_for,
+    "torus": smallest_torus_for,
+}
+
+GRID_CASES = [
+    (name, qubits, level)
+    for name in TABLE_IV_NAMES
+    for qubits in (8, 16)
+    for level in (0, 1, 2)
+]
+
+TOPOLOGY_CASES = [
+    (name, topo) for name in ("ising", "sqrt", "qft") for topo in sorted(TOPOLOGY_FACTORIES)
+]
+
+
+def _assert_matches_golden(key: str, compiled) -> None:
+    golden = GOLDENS[key]
+    assert circuit_fingerprint(compiled.physical_circuit) == golden["fingerprint"], (
+        f"{key}: compiled gate stream differs from the pre-optimization golden"
+    )
+    assert len(compiled.physical_circuit) == golden["gates"]
+    # "depth" is the *scheduled* depth (CompiledCircuit.depth): moments under
+    # the crosstalk constraint, which is what the capture script recorded.
+    assert compiled.depth == golden["depth"]
+    assert compiled.num_swaps == golden["num_swaps"]
+
+
+class TestGridGoldens:
+    """-O0/-O1/-O2 outputs are gate-for-gate identical to the goldens."""
+
+    @pytest.mark.parametrize("name,qubits,level", GRID_CASES)
+    def test_golden(self, name, qubits, level):
+        circuit = build_benchmark(name, num_qubits=qubits, seed=0)
+        compiled = compile_circuit(circuit, seed=0, opt_level=level)
+        _assert_matches_golden(f"{name}@{qubits}q-O{level}", compiled)
+
+
+class TestTopologyGoldens:
+    """-O2 outputs on line/heavy-hex/torus devices match the goldens."""
+
+    @pytest.mark.parametrize("name,topo", TOPOLOGY_CASES)
+    def test_golden(self, name, topo):
+        circuit = build_benchmark(name, num_qubits=8, seed=0)
+        coupling = TOPOLOGY_FACTORIES[topo](circuit.num_qubits)
+        compiled = compile_circuit(circuit, coupling=coupling, seed=0, opt_level=2)
+        _assert_matches_golden(f"{name}@8q-O2-{topo}", compiled)
+
+
+def test_every_golden_entry_is_exercised():
+    """No stale keys: the parametrised cases cover the golden file exactly."""
+    exercised = {f"{n}@{q}q-O{lv}" for n, q, lv in GRID_CASES}
+    exercised.update(f"{n}@8q-O2-{t}" for n, t in TOPOLOGY_CASES)
+    assert exercised == set(GOLDENS)

@@ -10,6 +10,7 @@ from repro.runtime.bench import (
     QUICK_PROFILE,
     bench_main,
     check_regression,
+    pass_time_table,
     run_bench,
 )
 
@@ -33,12 +34,14 @@ class TestRunBench:
         assert row["min_s"] > 0
         assert row["throughput_per_s"] == pytest.approx(1.0 / row["min_s"])
         assert "fidelity" not in report
-        # The embedded telemetry window saw the compile spans and counters.
+        # The embedded telemetry window saw the compile spans and counters;
+        # the default opt level is below 2, so the compile_o2 section adds a
+        # second set of timed compilations.
         span_names = {entry["span"] for entry in report["telemetry"]["spans"]}
         assert "compile.circuit" in span_names
         assert (
             report["telemetry"]["metrics"]["counters"]["compile.circuits"]
-            == QUICK_PROFILE["repeats"]
+            == 2 * QUICK_PROFILE["repeats"]
         )
         json.dumps(report)  # JSON-able end to end
 
@@ -51,9 +54,21 @@ class TestRunBench:
         span_names = {entry["span"] for entry in report["telemetry"]["spans"]}
         assert {"sim.run", "sim.batch"} <= span_names
 
+    def test_compile_o2_rows_shared_when_already_at_o2(self):
+        report = run_bench(benchmarks=("bv",), quick=True, opt_level=2)
+        assert report["compile_o2"] is report["compile"]
+
+    def test_compile_o2_measured_separately_below_o2(self):
+        report = run_bench(benchmarks=("bv",), quick=True, opt_level=0)
+        assert report["compile_o2"] is not report["compile"]
+        (row,) = report["compile_o2"]
+        assert row["benchmark"] == "bv"
+        assert row["throughput_per_s"] > 0
+        json.dumps(report)
+
     def test_metrics_are_deltas_not_process_totals(self):
         telemetry.counter("compile.circuits").inc(100)  # prior process activity
-        report = run_bench(benchmarks=("bv",), quick=True)
+        report = run_bench(benchmarks=("bv",), quick=True, opt_level=2)
         assert (
             report["telemetry"]["metrics"]["counters"]["compile.circuits"]
             == QUICK_PROFILE["repeats"]
@@ -117,6 +132,57 @@ class TestCheckRegression:
             self._report(100.0), self._fidelity_report(100.0)
         ) == []
 
+    def _o2_report(self, throughput):
+        return {
+            "schema": BENCH_SCHEMA,
+            "compile": [{"benchmark": "sqrt", "throughput_per_s": 100.0}],
+            "compile_o2": [{"benchmark": "sqrt", "throughput_per_s": throughput}],
+        }
+
+    def test_o2_compile_stage_regression_is_reported(self):
+        failures = check_regression(
+            self._o2_report(50.0), self._o2_report(100.0), tolerance=0.25
+        )
+        assert len(failures) == 1
+        assert "compile throughput (-O2)" in failures[0]
+        assert failures[0].startswith("sqrt:")
+
+    def test_o2_compile_stage_within_tolerance_passes(self):
+        assert check_regression(self._o2_report(90.0), self._o2_report(100.0)) == []
+
+    def test_missing_o2_stage_is_ignored(self):
+        # Reports from before the compile_o2 section gate only shared stages.
+        assert check_regression(
+            self._report(100.0), self._o2_report(100.0)
+        ) == []
+
+
+class TestPassTimeTable:
+    def test_rows_from_report_spans(self):
+        report = {
+            "telemetry": {
+                "spans": [
+                    {"span": "compile.circuit", "count": 7, "total_s": 1.0, "mean_s": 0.14},
+                    {"span": "compile.pass.LookaheadRoute", "count": 7, "total_s": 0.6, "mean_s": 0.0857},
+                    {"span": "compile.pass.RebaseToCZ", "count": 7, "total_s": 0.2, "mean_s": 0.0286},
+                ]
+            }
+        }
+        rows = pass_time_table(report)
+        assert [row["pass"] for row in rows] == ["LookaheadRoute", "RebaseToCZ"]
+        assert rows[0]["count"] == 7
+        assert rows[0]["share"] == "75.0%"
+        assert rows[1]["share"] == "25.0%"
+
+    def test_live_report_carries_pass_spans(self):
+        report = run_bench(benchmarks=("bv",), quick=True, opt_level=2)
+        rows = pass_time_table(report)
+        names = {row["pass"] for row in rows}
+        assert "LookaheadRoute" in names
+
+    def test_empty_report_yields_no_rows(self):
+        assert pass_time_table({}) == []
+
 
 class TestBenchMain:
     def test_writes_report_and_prints_table(self, tmp_path, capsys):
@@ -145,6 +211,35 @@ class TestBenchMain:
         )
         assert exit_code == 1
         assert "REGRESSION: bv" in capsys.readouterr().out
+
+    def test_pass_table_prints_per_pass_breakdown(self, tmp_path, capsys):
+        exit_code = bench_main(
+            [
+                "--quick", "--benchmarks", "bv", "--rev", "pt",
+                "--output-dir", str(tmp_path), "--pass-table",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Compile time by pass" in out
+        # At least the router shows up as a named pass row.
+        assert "Route" in out
+
+    def test_profile_out_writes_a_cprofile_dump(self, tmp_path, capsys):
+        import pstats
+
+        profile_path = tmp_path / "bench.prof"
+        exit_code = bench_main(
+            [
+                "--quick", "--benchmarks", "bv", "--rev", "prof",
+                "--output-dir", str(tmp_path), "--profile-out", str(profile_path),
+            ]
+        )
+        assert exit_code == 0
+        assert profile_path.exists()
+        stats = pstats.Stats(str(profile_path))  # loads => valid dump
+        assert stats.total_calls > 0
+        assert str(profile_path) in capsys.readouterr().out
 
     def test_check_gate_passes_against_own_report(self, tmp_path, capsys):
         assert bench_main(
