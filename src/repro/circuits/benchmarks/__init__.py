@@ -9,6 +9,7 @@ Add2    Carry-lookahead adder (256-bit in the paper)
 Sqrt10  10-bit square root via Grover search
 QFT     Quantum Fourier transform (all-to-all; not in the paper)
 QAOA    QAOA MaxCut on a seeded random graph (not in the paper)
+GHZ     GHZ core + seeded phase layers (sparse-kernel workload)
 ======  =========================================================
 
 :func:`benchmark_suite` builds the full suite scaled to a target device size,
@@ -28,6 +29,7 @@ from .adders import (
     cuccaro_adder_circuit,
 )
 from .bernstein_vazirani import bernstein_vazirani_circuit, bernstein_vazirani_secret
+from .ghz import ghz_phase_circuit
 from .grover_sqrt import GroverSqrtLayout, grover_sqrt_circuit
 from .ising import ising_chain_circuit
 from .qaoa import qaoa_maxcut_circuit, qaoa_maxcut_edges
@@ -38,7 +40,7 @@ from .qgan import qgan_circuit
 TABLE_IV_NAMES = ("qgan", "ising", "bv", "add1", "add2", "sqrt")
 
 #: Every registered benchmark: Table IV plus the extended scenarios.
-BENCHMARK_NAMES = TABLE_IV_NAMES + ("qft", "qaoa")
+BENCHMARK_NAMES = TABLE_IV_NAMES + ("qft", "qaoa", "ghz")
 
 
 def build_benchmark(name: str, num_qubits: int = 64, seed: int = 7) -> QuantumCircuit:
@@ -72,6 +74,8 @@ def build_benchmark(name: str, num_qubits: int = 64, seed: int = 7) -> QuantumCi
         return qft_circuit(num_qubits=max(2, num_qubits))
     if name == "qaoa":
         return qaoa_maxcut_circuit(num_qubits=max(2, num_qubits), seed=seed)
+    if name == "ghz":
+        return ghz_phase_circuit(num_qubits=max(2, num_qubits), seed=seed)
     raise KeyError(f"unknown benchmark '{name}'; known: {BENCHMARK_NAMES}")
 
 
@@ -101,6 +105,7 @@ __all__ = [
     "build_benchmark",
     "carry_lookahead_adder_circuit",
     "cuccaro_adder_circuit",
+    "ghz_phase_circuit",
     "grover_sqrt_circuit",
     "ising_chain_circuit",
     "qaoa_maxcut_circuit",

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import fast_gate
 from .coupling import CouplingMap
@@ -124,18 +126,21 @@ def _best_candidate(
     operands of the upcoming two-qubit gates.  Ties break on the first
     candidate in enumeration order, keeping the router deterministic.
 
-    Incremental scoring: instead of copying the layout and replaying the
-    SWAP walk per candidate, the candidate permutation is evaluated in
-    closed form on only the path's qubits — the occupant at path index
-    ``i`` lands at ``path[meeting]`` (i == 0), ``path[i - 1]``
-    (1 <= i <= meeting), ``path[meeting + 1]`` (i == last) or
-    ``path[i + 1]`` otherwise.  Window pairs with no operand on any
-    candidate path keep the same distance under every candidate, so they
-    shift all costs by one common constant and are skipped outright; the
-    remaining per-pair terms are exact, so the argmin (and its
-    deterministic tie-break) is identical to the reference scorer's.
-    :func:`_best_candidate_reference` retains the replay implementation
-    for cross-checking.
+    Batched scoring: instead of copying the layout and replaying the SWAP
+    walk per candidate, the candidate permutation is evaluated in closed
+    form on only the path's qubits — the occupant at path index ``i`` lands
+    at ``path[meeting]`` (i == 0), ``path[i - 1]`` (1 <= i <= meeting),
+    ``path[meeting + 1]`` (i == last) or ``path[i + 1]`` otherwise — and
+    every meeting of a path is scored at once: each window pair contributes
+    one numpy gather over the flattened :meth:`CouplingMap.distance_matrix`
+    at its per-meeting landing positions.  Window pairs with no operand on
+    any candidate path keep the same distance under every candidate, so
+    they shift all costs by one common constant and are skipped outright.
+    Per-pair terms accumulate in the same order as the scalar loop did
+    (pair by pair, one fused multiply-add over the meetings axis), so every
+    cost is byte-identical and the argmin — with its deterministic
+    tie-break — never changes.  :func:`_best_candidate_reference` retains
+    the replay implementation for cross-checking.
     """
     paths = coupling.cached_candidate_paths(start, end)
     if not window:
@@ -161,39 +166,43 @@ def _best_candidate(
         return paths[0], 0
 
     n = coupling.num_qubits
-    dist = coupling._distance_flat
+    flat = coupling.distance_matrix().ravel()
     best_path: Sequence[int] = paths[0]
     best_meeting = 0
     best_cost = None
     for path in paths:
         last = len(path) - 1
+        path_arr = np.asarray(path, dtype=np.intp)
         index_of = {physical: i for i, physical in enumerate(path)}
-        get_index = index_of.get
-        meetings = range(last) if last >= 2 else (0,)
-        for meeting in meetings:
-            cost = 0.0
-            for weight, physical_a, physical_b in relevant:
-                i = get_index(physical_a)
-                if i is not None:
-                    if i == 0:
-                        physical_a = path[meeting]
-                    elif i <= meeting:
-                        physical_a = path[i - 1]
-                    elif i == last:
-                        physical_a = path[meeting + 1]
-                    else:
-                        physical_a = path[i + 1]
-                i = get_index(physical_b)
-                if i is not None:
-                    if i == 0:
-                        physical_b = path[meeting]
-                    elif i <= meeting:
-                        physical_b = path[i - 1]
-                    elif i == last:
-                        physical_b = path[meeting + 1]
-                    else:
-                        physical_b = path[i + 1]
-                cost += weight * dist[physical_a * n + physical_b]
+        meetings = (
+            np.arange(last, dtype=np.intp) if last >= 2
+            else np.zeros(1, dtype=np.intp)
+        )
+        landings: dict = {}
+
+        def landing(physical: int):
+            # Per-meeting landing position of one operand; off-path operands
+            # stay put (a scalar broadcasts over the meetings axis).
+            i = index_of.get(physical)
+            if i is None:
+                return physical
+            cached = landings.get(i)
+            if cached is None:
+                if i == 0:
+                    cached = path_arr[meetings]
+                elif i == last:
+                    cached = path_arr[meetings + 1]
+                else:
+                    cached = np.where(
+                        meetings >= i, path_arr[i - 1], path_arr[i + 1]
+                    )
+                landings[i] = cached
+            return cached
+
+        costs = np.zeros(meetings.shape[0])
+        for weight, physical_a, physical_b in relevant:
+            costs += weight * flat[landing(physical_a) * n + landing(physical_b)]
+        for meeting, cost in enumerate(costs.tolist()):
             if best_cost is None or cost < best_cost - 1e-12:
                 best_cost = cost
                 best_path = path

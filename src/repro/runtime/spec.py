@@ -28,7 +28,7 @@ from ..circuits.circuit import QuantumCircuit, circuit_fingerprint
 from ..compiler.layout import LAYOUT_STRATEGIES
 from ..compiler.pipeline import DEFAULT_OPT_LEVEL, OPT_LEVELS, PIPELINE_NAMES
 from ..core.architecture import DigiQConfig
-from ..simulation.trajectories import DEFAULT_BATCH_SIZE
+from ..simulation.trajectories import DEFAULT_BATCH_SIZE, PLAN_MODES
 
 #: Default sweep axes used by ``python -m repro.runtime`` with no arguments.
 DEFAULT_BENCHMARKS: Tuple[str, ...] = ("qgan", "ising", "bv")
@@ -141,12 +141,19 @@ class FidelityOptions:
     seeds varies the Monte-Carlo sample on a fixed noisy device.  Devices
     whose physical qubit count exceeds ``max_qubits`` skip simulation and
     report null fidelity columns instead of exploding the statevector.
+
+    ``mode`` selects the trajectory kernel
+    (:data:`~repro.simulation.trajectories.PLAN_MODES`): ``"auto"`` lets the
+    planner pick (stabilizer for Clifford circuits, sparse under the
+    low-entanglement budget, dense statevector otherwise); the explicit
+    modes force one kernel, mostly for cross-checks and benchmarking.
     """
 
     trajectories: int = 100
     batch_size: int = DEFAULT_BATCH_SIZE
     noise_seed: int = 0
     max_qubits: int = 16
+    mode: str = "auto"
 
     def __post_init__(self) -> None:
         if self.trajectories < 1:
@@ -155,6 +162,8 @@ class FidelityOptions:
             raise ValueError("batch_size must be >= 1")
         if not 1 <= self.max_qubits <= 24:
             raise ValueError("max_qubits must be in [1, 24] (dense statevector limit)")
+        if self.mode not in PLAN_MODES:
+            raise ValueError(f"mode must be one of {PLAN_MODES}")
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -162,6 +171,7 @@ class FidelityOptions:
             "batch_size": self.batch_size,
             "noise_seed": self.noise_seed,
             "max_qubits": self.max_qubits,
+            "mode": self.mode,
         }
 
     @staticmethod

@@ -13,6 +13,16 @@ circuits automatically take the exact stabilizer/Pauli-frame fast path of
 
 from .channels import DEFAULT_CZ_ERROR, DEFAULT_SINGLE_QUBIT_ERROR, NoiseModel
 from .engine import benchmark_fidelity, run_trajectories
+from .sparse import (
+    SparseProgram,
+    SparseScorer,
+    advance_sparse_batch,
+    build_sparse_scorer,
+    compile_sparse_program,
+    estimate_nnz_bound,
+    sparse_auto_budget,
+    sparse_to_dense,
+)
 from .stabilizer import (
     StabilizerScorer,
     StabilizerTableau,
@@ -44,17 +54,23 @@ __all__ = [
     "DEFAULT_SINGLE_QUBIT_ERROR",
     "FusedOp",
     "NoiseModel",
+    "SparseProgram",
+    "SparseScorer",
     "StabilizerScorer",
     "StabilizerTableau",
     "TrajectoryPlan",
     "TrajectoryResult",
     "advance_noisy_batch",
     "advance_pauli_frames",
+    "advance_sparse_batch",
     "apply_fused_ops",
     "batch_sizes",
     "benchmark_fidelity",
     "build_scorer",
+    "build_sparse_scorer",
     "build_trajectory_plan",
+    "compile_sparse_program",
+    "estimate_nnz_bound",
     "fuse_circuit",
     "ideal_final_state",
     "is_clifford_circuit",
@@ -63,5 +79,7 @@ __all__ = [
     "run_trajectories",
     "run_trajectory_batch",
     "simulate_trajectories",
+    "sparse_auto_budget",
+    "sparse_to_dense",
     "trajectory_batch_payloads",
 ]

@@ -1,0 +1,580 @@
+"""Sparse low-entanglement trajectory kernel.
+
+GHZ-like cores, Bernstein-Vazirani-style oracles dressed with diagonal
+phases, and shallow low-branching layers keep only a handful of nonzero
+amplitudes, yet the dense kernel spends ``O(2**n)`` on every op — which is
+exactly the worst-case-shaped execution the paper argues against.  This
+module stores a trajectory batch as one *sorted* ``int64`` key array plus a
+matching complex amplitude array, with the trajectory id folded into the
+high key bits (``key = (traj << n) | basis_index``), so every operation is a
+single vectorized pass over the occupied amplitudes of the whole batch:
+
+- **diagonal** ops multiply amplitudes by per-subspace phases in place
+  (zero growth, no resort — keys never move);
+- **permutation** ops (x/cx/ccx/swap...) rewrite target bits of the keys
+  with index arithmetic and resort (zero growth);
+- **dense single-qubit** ops pair each occupied index with its flip partner
+  via :func:`np.searchsorted`; paired entries get the 2x2 update in the same
+  two-term order as the dense kernel, unpaired entries branch one new
+  amplitude, and exact-zero results are pruned (so H·H uncomputation shrinks
+  the state back);
+- **dense k-qubit** ops group occupied keys by their untouched bits and run
+  the matrix rows in :func:`repro.circuits.simulator.apply_matrix` order;
+- **Pauli kicks** consume the identical draw stream as the dense and
+  stabilizer kernels — X/Y flip key bits (and Y phases ±i), Z flips signs —
+  so a (seed, batch) pair reproduces the dense kernel's states amplitude
+  for amplitude.
+
+:func:`estimate_nnz_bound` is the static branching-gate analysis behind
+``build_trajectory_plan(mode="auto")``: diagonal/permutation ops cannot grow
+the support and a dense k-qubit op at most multiplies it by ``2**k``, so the
+product over dense ops upper-bounds the peak nonzeros per trajectory.  When
+a forced-sparse run beats its plan's threshold anyway (the bound is loose
+only downward, never upward, so auto-selected plans cannot get here), the
+batch spills to the dense kernel mid-circuit and finishes there — same
+draw stream, same amplitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.simulator import _matrix_strategy, apply_matrix_inplace
+
+#: Absolute per-trajectory nonzero ceiling for auto-selecting the sparse
+#: kernel: past a few thousand occupied amplitudes the searchsorted passes
+#: stop beating the dense kernel's contiguous arithmetic regardless of n.
+SPARSE_NNZ_CAP = 4096
+
+#: Dense-equivalent budget divisor: auto-select sparse only when the static
+#: nonzero bound stays under ``2**n / SPARSE_DENSE_RATIO`` — i.e. when the
+#: dense kernel would waste at least ~98% of its arithmetic on zeros.
+SPARSE_DENSE_RATIO = 64
+
+#: Spill floor for explicitly forced sparse plans, so toy circuits do not
+#: spill on their first branching gate just because ``2**n / ratio`` is tiny.
+SPARSE_SPILL_FLOOR = 64
+
+#: Widest register a spill (or a dense ideal-state fallback) can densify.
+#: Matches the statevector kernel's practical ceiling.
+DENSE_SPILL_LIMIT = 24
+
+#: Ideal-state evolution switches to one dense vector past this support size
+#: (forced-sparse plans on genuinely dense circuits); auto-selected plans
+#: stay far below it by construction.
+_IDEAL_SPARSE_LIMIT = 1 << 16
+
+
+@dataclass(frozen=True)
+class SparseOp:
+    """One fused op compiled for the sparse kernel.
+
+    ``kind`` mirrors :func:`repro.circuits.simulator._matrix_strategy`:
+    ``"diag"`` / ``"perm"`` apply with zero growth, ``"dense1"`` /
+    ``"dense"`` may branch.  ``matrix``/``targets`` are kept verbatim so a
+    spilled batch can finish through the dense in-place kernel, and
+    ``sites`` are the (qubit, probability) kick sites that consume draws
+    after this op (zero-probability sites consume nothing, exactly as in
+    the dense and stabilizer kernels).
+    """
+
+    kind: str
+    matrix: np.ndarray
+    targets: Tuple[int, ...]
+    sites: Tuple[Tuple[int, float], ...]
+    #: diag: per-subspace coefficient, indexed by the target-bit pattern.
+    coeffs: Optional[np.ndarray] = None
+    #: perm: destination subspace of each *source* subspace, and the
+    #: coefficient each source amplitude picks up on the way.
+    dest: Optional[np.ndarray] = None
+    src_coeffs: Optional[np.ndarray] = None
+    unit_coeffs: bool = False
+    #: dense: basis pattern ``b`` scattered onto the target bits.
+    patterns: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class SparseProgram:
+    """A fused-op list compiled for sparse execution, plus its static bound."""
+
+    ops: Tuple[SparseOp, ...]
+    num_qubits: int
+    nnz_bound: int
+
+
+def estimate_nnz_bound(ops: Sequence, num_qubits: int) -> int:
+    """Static upper bound on peak per-trajectory nonzeros.
+
+    Diagonal and permutation ops never change the support size; a dense
+    k-qubit op maps each occupied index into at most ``2**k`` outputs.
+    Pauli kicks are permutations/diagonals, so they never grow the support
+    either — the bound is a true ceiling, which is what makes spilling
+    unreachable for auto-selected plans.
+    """
+    bound = 1
+    cap = 1 << num_qubits
+    for op in ops:
+        matrix = np.asarray(op.matrix, dtype=complex)
+        strategy = _matrix_strategy(matrix.tobytes(), matrix.shape[0])
+        if strategy[0] in ("diag", "perm"):
+            continue
+        bound = min(bound << len(op.qubits), cap)
+    return bound
+
+
+def sparse_auto_budget(num_qubits: int) -> int:
+    """Per-trajectory nonzero budget under which ``auto`` picks sparse."""
+    return min(SPARSE_NNZ_CAP, (1 << num_qubits) // SPARSE_DENSE_RATIO)
+
+
+def default_spill_nnz(num_qubits: int) -> int:
+    """Default runtime spill threshold of a sparse plan."""
+    return max(SPARSE_SPILL_FLOOR, sparse_auto_budget(num_qubits))
+
+
+def compile_sparse_program(ops: Sequence, num_qubits: int) -> SparseProgram:
+    """Classify fused ops for sparse execution and bound the support growth."""
+    if num_qubits > 62:
+        raise ValueError(
+            f"sparse kernel keys are int64 basis indices; {num_qubits} qubits "
+            "exceed the 62-bit ceiling"
+        )
+    cap = 1 << num_qubits
+    bound = 1
+    compiled = []
+    for op in ops:
+        matrix = np.asarray(op.matrix, dtype=complex)
+        targets = tuple(int(q) for q in op.qubits)
+        sites = tuple(
+            (int(q), float(p)) for q, p in zip(op.qubits, op.kick_probs) if p > 0
+        )
+        strategy = _matrix_strategy(matrix.tobytes(), matrix.shape[0])
+        kind = strategy[0]
+        if kind == "diag":
+            compiled.append(
+                SparseOp(
+                    "diag", matrix, targets, sites,
+                    coeffs=np.asarray(strategy[1], dtype=complex),
+                )
+            )
+            continue
+        if kind == "perm":
+            perm = np.asarray(strategy[1], dtype=np.int64)
+            coeffs = np.asarray(strategy[2], dtype=complex)
+            # strategy: out[j] = coeffs[j] * in[perm[j]]; per occupied source
+            # subspace s that is dest[s] = j with coefficient coeffs[dest[s]].
+            dest = np.empty_like(perm)
+            dest[perm] = np.arange(len(perm), dtype=np.int64)
+            src_coeffs = coeffs[dest]
+            compiled.append(
+                SparseOp(
+                    "perm", matrix, targets, sites,
+                    dest=dest, src_coeffs=src_coeffs,
+                    unit_coeffs=bool(np.all(coeffs == 1.0)),
+                )
+            )
+            continue
+        dim = matrix.shape[0]
+        patterns = np.zeros(dim, dtype=np.int64)
+        for slot, target in enumerate(targets):
+            patterns |= ((np.arange(dim, dtype=np.int64) >> slot) & 1) << target
+        compiled.append(
+            SparseOp(
+                "dense1" if kind == "dense1" else "dense",
+                matrix, targets, sites, patterns=patterns,
+            )
+        )
+        bound = min(bound << len(targets), cap)
+    return SparseProgram(tuple(compiled), num_qubits, bound)
+
+
+def _extract_sub(keys: np.ndarray, targets: Tuple[int, ...]) -> np.ndarray:
+    """Target-bit pattern of each key (operand 0 least significant)."""
+    sub = (keys >> targets[0]) & 1
+    for slot in range(1, len(targets)):
+        sub = sub | (((keys >> targets[slot]) & 1) << slot)
+    return sub
+
+
+def _sorted(keys: np.ndarray, amps: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Resort entries by key (keys stay unique, so the order is total)."""
+    if keys.size > 1 and np.any(keys[1:] < keys[:-1]):
+        order = np.argsort(keys)
+        return keys[order], amps[order]
+    return keys, amps
+
+
+def _prune_sorted(keys: np.ndarray, amps: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop exact-zero amplitudes and resort.
+
+    Pruning only exact zeros (no tolerance) is what keeps the kernel
+    amplitude-for-amplitude equal to the dense kernel: a dense entry that
+    cancels to ``0.5 - 0.5 == 0.0`` contributes nothing to any later
+    two-term sum, while any inexact residue is kept and propagated.
+    """
+    keep = amps != 0
+    if not keep.all():
+        keys = keys[keep]
+        amps = amps[keep]
+    return _sorted(keys, amps)
+
+
+def _apply_diag(
+    keys: np.ndarray, amps: np.ndarray, op: SparseOp
+) -> Tuple[np.ndarray, np.ndarray]:
+    sub = _extract_sub(keys, op.targets)
+    amps *= op.coeffs[sub]
+    return keys, amps
+
+
+def _apply_perm(
+    keys: np.ndarray, amps: np.ndarray, op: SparseOp
+) -> Tuple[np.ndarray, np.ndarray]:
+    sub = _extract_sub(keys, op.targets)
+    new_sub = op.dest[sub]
+    if not op.unit_coeffs:
+        amps *= op.src_coeffs[sub]
+    mask = np.int64(0)
+    for target in op.targets:
+        mask |= np.int64(1) << target
+    new_keys = keys & ~mask
+    for slot, target in enumerate(op.targets):
+        new_keys |= ((new_sub >> slot) & 1) << target
+    return _sorted(new_keys, amps)
+
+
+def _apply_dense1(
+    keys: np.ndarray, amps: np.ndarray, op: SparseOp
+) -> Tuple[np.ndarray, np.ndarray]:
+    """2x2 update over occupied indices and their flip partners.
+
+    Paired entries reproduce the dense kernel's two-term order exactly
+    (``m00*s0 + m01*s1`` / ``m10*s0 + m11*s1``); an unpaired entry's missing
+    partner amplitude is an exact zero, so its surviving term is computed
+    directly and the branched partner appended.
+    """
+    matrix = op.matrix
+    bit = np.int64(1) << op.targets[0]
+    partner = keys ^ bit
+    pos = np.searchsorted(keys, partner)
+    pos_clipped = np.minimum(pos, keys.size - 1)
+    present = keys[pos_clipped] == partner
+    low = (keys & bit) == 0
+
+    new_amps = np.empty_like(amps)
+    pair_low = low & present
+    pair_high = present & ~low
+    if pair_low.any():
+        s0 = amps[pair_low]
+        s1 = amps[pos_clipped[pair_low]]
+        new_amps[pair_low] = matrix[0, 0] * s0 + matrix[0, 1] * s1
+        s0 = amps[pos_clipped[pair_high]]
+        s1 = amps[pair_high]
+        new_amps[pair_high] = matrix[1, 0] * s0 + matrix[1, 1] * s1
+    lone_low = low & ~present
+    lone_high = ~low & ~present
+    new_amps[lone_low] = matrix[0, 0] * amps[lone_low]
+    new_amps[lone_high] = matrix[1, 1] * amps[lone_high]
+
+    lone = ~present
+    if lone.any():
+        grown_keys = partner[lone]
+        grown = np.where(
+            low[lone], matrix[1, 0] * amps[lone], matrix[0, 1] * amps[lone]
+        )
+        keys = np.concatenate([keys, grown_keys])
+        new_amps = np.concatenate([new_amps, grown])
+    return _prune_sorted(keys, new_amps)
+
+
+def _apply_dense(
+    keys: np.ndarray, amps: np.ndarray, op: SparseOp
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense k-qubit op: group occupied keys by their untouched bits.
+
+    Rows accumulate in the same skip-zero column order as
+    :func:`repro.circuits.simulator.apply_matrix`, so paired amplitudes stay
+    within rounding of the dense kernel.
+    """
+    matrix = op.matrix
+    dim = matrix.shape[0]
+    mask = np.int64(0)
+    for target in op.targets:
+        mask |= np.int64(1) << target
+    rep = keys & ~mask
+    sub = _extract_sub(keys, op.targets)
+    reps, inverse = np.unique(rep, return_inverse=True)
+    table = np.zeros((reps.size, dim), dtype=complex)
+    table[inverse, sub] = amps
+    out = np.zeros_like(table)
+    for row in range(dim):
+        columns = [c for c in range(dim) if matrix[row, c] != 0]
+        if not columns:
+            continue
+        acc = matrix[row, columns[0]] * table[:, columns[0]]
+        for column in columns[1:]:
+            acc = acc + matrix[row, column] * table[:, column]
+        out[:, row] = acc
+    cand_keys = (reps[:, None] | op.patterns[None, :]).ravel()
+    cand_amps = out.ravel()
+    return _prune_sorted(cand_keys, cand_amps)
+
+
+_APPLY = {
+    "diag": _apply_diag,
+    "perm": _apply_perm,
+    "dense1": _apply_dense1,
+    "dense": _apply_dense,
+}
+
+
+def apply_sparse_op(
+    keys: np.ndarray, amps: np.ndarray, op: SparseOp
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply one compiled op to a sorted sparse (keys, amps) pair."""
+    return _APPLY[op.kind](keys, amps, op)
+
+
+def apply_sparse_kicks(
+    keys: np.ndarray,
+    amps: np.ndarray,
+    num_qubits: int,
+    qubit: int,
+    hit: np.ndarray,
+    pauli_pick: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-trajectory Pauli kicks on one qubit of a folded sparse batch.
+
+    ``hit``/``pauli_pick`` are indexed by trajectory id (the high key bits),
+    exactly the arrays the dense kernel hands to ``_inject_kicks``: X flips
+    the qubit bit of every occupied key of a hit trajectory, Y flips it with
+    a ``+i``/``-i`` phase by the outgoing bit value, Z negates the occupied
+    ``|1>`` amplitudes.  Support size never changes.
+    """
+    traj = keys >> num_qubits
+    hit_entries = hit[traj]
+    pick_entries = pauli_pick[traj]
+    bit = np.int64(1) << qubit
+    high = (keys & bit) != 0
+
+    is_z = hit_entries & (pick_entries == 2)
+    if is_z.any():
+        amps[is_z & high] *= -1.0
+    is_y = hit_entries & (pick_entries == 1)
+    flip = is_y | (hit_entries & (pick_entries == 0))
+    if flip.any():
+        if is_y.any():
+            amps[is_y & ~high] *= 1j
+            amps[is_y & high] *= -1j
+        keys = keys.copy()
+        keys[flip] ^= bit
+        keys, amps = _sorted(keys, amps)
+    return keys, amps
+
+
+def sparse_to_dense(
+    keys: np.ndarray, amps: np.ndarray, num_qubits: int, batch: int
+) -> np.ndarray:
+    """Scatter a folded sparse batch into a dense ``(batch, 2**n)`` array."""
+    if num_qubits > DENSE_SPILL_LIMIT:
+        raise RuntimeError(
+            f"cannot densify a {num_qubits}-qubit sparse batch "
+            f"(limit {DENSE_SPILL_LIMIT})"
+        )
+    states = np.zeros((batch, 1 << num_qubits), dtype=complex)
+    index = keys & ((np.int64(1) << num_qubits) - 1)
+    states[keys >> num_qubits, index] = amps
+    return states
+
+
+@dataclass(frozen=True)
+class SparseScorer:
+    """Noiseless final state in sparse form, plus the dominant outcome.
+
+    ``indices`` hold the (sorted) basis indices with nonzero ideal
+    amplitude; scoring a sparse batch intersects occupied keys with them via
+    one ``searchsorted`` pass and accumulates per-trajectory overlaps, which
+    matches the dense kernel's ``states @ ideal.conj()`` because the
+    amplitudes dropped on either side are exact zeros.
+    """
+
+    num_qubits: int
+    indices: np.ndarray
+    amplitudes: np.ndarray
+    dominant_index: int
+    ideal_success: float
+
+    def score(
+        self, keys: np.ndarray, amps: np.ndarray, batch: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-trajectory (state fidelity, success probability) of a sparse batch."""
+        index = keys & ((np.int64(1) << self.num_qubits) - 1)
+        traj = keys >> self.num_qubits
+        pos = np.searchsorted(self.indices, index)
+        pos_clipped = np.minimum(pos, self.indices.size - 1)
+        match = self.indices[pos_clipped] == index
+        overlap = np.zeros(batch, dtype=complex)
+        np.add.at(
+            overlap,
+            traj[match],
+            amps[match] * np.conj(self.amplitudes[pos_clipped[match]]),
+        )
+        fidelities = np.abs(overlap) ** 2
+        success = np.zeros(batch)
+        at_dominant = index == self.dominant_index
+        success[traj[at_dominant]] = np.abs(amps[at_dominant]) ** 2
+        return fidelities, success
+
+    def score_dense(self, states: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Score a spilled (dense) batch against the sparse ideal state."""
+        overlap = states[:, self.indices] @ np.conj(self.amplitudes)
+        fidelities = np.abs(overlap) ** 2
+        success = np.abs(states[:, self.dominant_index]) ** 2
+        return fidelities, success
+
+
+def build_sparse_scorer(program: SparseProgram) -> SparseScorer:
+    """Evolve the noiseless state through the program and pin the scorer.
+
+    The evolution is sparse until the support exceeds
+    :data:`_IDEAL_SPARSE_LIMIT`, then falls back to one dense vector (only
+    reachable for forced-sparse plans on dense circuits); past
+    :data:`DENSE_SPILL_LIMIT` qubits that fallback is impossible and the
+    plan is rejected.
+    """
+    num_qubits = program.num_qubits
+    keys = np.zeros(1, dtype=np.int64)
+    amps = np.ones(1, dtype=complex)
+    dense: Optional[np.ndarray] = None
+    for op in program.ops:
+        if dense is not None:
+            dense = apply_matrix_inplace(dense, op.matrix, op.targets, num_qubits)
+            continue
+        keys, amps = apply_sparse_op(keys, amps, op)
+        if keys.size > _IDEAL_SPARSE_LIMIT:
+            if num_qubits > DENSE_SPILL_LIMIT:
+                raise ValueError(
+                    f"mode='sparse' cannot score a {num_qubits}-qubit circuit "
+                    f"whose noiseless support exceeds {_IDEAL_SPARSE_LIMIT} "
+                    "amplitudes; the dense fallback tops out at "
+                    f"{DENSE_SPILL_LIMIT} qubits"
+                )
+            dense = sparse_to_dense(keys, amps, num_qubits, 1)
+    if dense is not None:
+        vector = dense.reshape(-1)
+        probs = np.abs(vector) ** 2
+        dominant = int(np.argmax(probs))
+        nonzero = np.nonzero(vector)[0]
+        return SparseScorer(
+            num_qubits=num_qubits,
+            indices=nonzero.astype(np.int64),
+            amplitudes=vector[nonzero],
+            dominant_index=dominant,
+            ideal_success=float(probs[dominant]),
+        )
+    probs = np.abs(amps) ** 2
+    # keys are sorted, so the first maximum is the smallest dominant index —
+    # matching the dense kernel's np.argmax over the full vector.
+    position = int(np.argmax(probs))
+    return SparseScorer(
+        num_qubits=num_qubits,
+        indices=keys,
+        amplitudes=amps,
+        dominant_index=int(keys[position]),
+        ideal_success=float(probs[position]),
+    )
+
+
+def advance_sparse_batch(
+    program: SparseProgram,
+    batch: int,
+    rng: np.random.Generator,
+    kick_cumweights: np.ndarray,
+    spill_nnz: int,
+) -> Tuple[object, int, int, bool]:
+    """Advance ``batch`` noisy trajectories sparsely from ``|0...0>``.
+
+    Returns ``(states, kicks, nnz_peak, spilled)``: ``states`` is the
+    ``(keys, amps)`` pair while sparse, or the dense ``(batch, 2**n)`` array
+    after a spill.  The kick-draw stream is consumed site by site in circuit
+    order exactly as in :func:`repro.simulation.trajectories
+    .advance_noisy_batch`, so a spill mid-circuit (or none at all) never
+    shifts later draws.
+
+    When any trajectory's support exceeds ``spill_nnz`` after a branching
+    op, the whole batch is scattered dense and finishes on the dense
+    in-place kernel — possible only for forced-sparse plans, since the
+    static bound that gates auto-selection is a true ceiling.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    num_qubits = program.num_qubits
+    if (batch << num_qubits) > (1 << 62):
+        raise ValueError(
+            f"sparse kernel cannot fold {batch} trajectories of "
+            f"{num_qubits} qubits into int64 keys"
+        )
+    keys = (np.arange(batch, dtype=np.int64) << num_qubits)
+    amps = np.ones(batch, dtype=complex)
+    kicks = 0
+    nnz_peak = 1
+
+    for op_index, op in enumerate(program.ops):
+        keys, amps = apply_sparse_op(keys, amps, op)
+        if op.kind in ("dense1", "dense"):
+            per_traj = np.bincount(keys >> num_qubits, minlength=batch)
+            nnz_peak = max(nnz_peak, int(per_traj.max()))
+            if nnz_peak > spill_nnz:
+                states = sparse_to_dense(keys, amps, num_qubits, batch)
+                states, kicks = _finish_dense(
+                    states, program, op_index, batch, rng, kick_cumweights, kicks
+                )
+                return states, kicks, nnz_peak, True
+        for qubit, prob in op.sites:
+            hit = rng.random(batch) < prob
+            pauli_pick = np.minimum(
+                np.searchsorted(kick_cumweights, rng.random(batch)), 2
+            )
+            if not hit.any():
+                continue
+            keys, amps = apply_sparse_kicks(
+                keys, amps, num_qubits, qubit, hit, pauli_pick
+            )
+            kicks += int(hit.sum())
+    return (keys, amps), kicks, nnz_peak, False
+
+
+def _finish_dense(
+    states: np.ndarray,
+    program: SparseProgram,
+    op_index: int,
+    batch: int,
+    rng: np.random.Generator,
+    kick_cumweights: np.ndarray,
+    kicks: int,
+) -> Tuple[np.ndarray, int]:
+    """Finish a spilled batch on the dense kernel, preserving the draw stream.
+
+    The op at ``op_index`` has already been applied sparsely; its kick sites
+    and every later op run dense through the same in-place kernel and kick
+    injector the statevector path uses.
+    """
+    from .trajectories import _inject_kicks
+
+    num_qubits = program.num_qubits
+    for later in range(op_index, len(program.ops)):
+        op = program.ops[later]
+        if later != op_index:
+            states = apply_matrix_inplace(states, op.matrix, op.targets, num_qubits)
+        for qubit, prob in op.sites:
+            hit = rng.random(batch) < prob
+            pauli_pick = np.minimum(
+                np.searchsorted(kick_cumweights, rng.random(batch)), 2
+            )
+            if not hit.any():
+                continue
+            kicks += _inject_kicks(states, num_qubits, qubit, hit, pauli_pick)
+    return states, kicks

@@ -22,13 +22,17 @@ altogether: :func:`build_trajectory_plan` selects the Pauli-frame/stabilizer
 path of :mod:`repro.simulation.stabilizer`, which scores the same quantities
 exactly with two bits per qubit per trajectory and no ``2**n`` arrays — so
 Clifford benchmarks (Bernstein-Vazirani above all) run far past the 24-qubit
-statevector ceiling.
+statevector ceiling.  Non-Clifford circuits whose states stay low-rank (a
+static branching-gate analysis bounds the peak nonzeros) take the sparse
+(index, amplitude) kernel of :mod:`repro.simulation.sparse` instead, which
+also clears the dense ceiling and spills back to the dense kernel if a
+forced-sparse run outgrows its plan.
 
 All randomness flows from one ``numpy`` generator seeded by the caller, and
 kick draws are consumed in a fixed order independent of which trajectories
 are actually kicked, so a (seed, trajectory-count, batch-size) triple pins
 the result bit-for-bit — serially, across worker processes, and across the
-statevector/stabilizer paths (both consume the identical draw stream).
+statevector/stabilizer/sparse paths (all consume the identical draw stream).
 """
 
 from __future__ import annotations
@@ -50,6 +54,15 @@ from ..circuits.simulator import (
     zero_state,
 )
 from .channels import NoiseModel
+from .sparse import (
+    SparseProgram,
+    SparseScorer,
+    advance_sparse_batch,
+    build_sparse_scorer,
+    compile_sparse_program,
+    default_spill_nnz,
+    sparse_auto_budget,
+)
 from .stabilizer import (
     StabilizerScorer,
     advance_pauli_frames,
@@ -62,7 +75,7 @@ from .stabilizer import (
 DEFAULT_BATCH_SIZE = 25
 
 #: Trajectory plan modes accepted by :func:`build_trajectory_plan`.
-PLAN_MODES = ("auto", "statevector", "stabilizer")
+PLAN_MODES = ("auto", "statevector", "stabilizer", "sparse")
 
 #: Pauli kick operators, indexed by the noise model's (X, Y, Z) weights.
 #: The kick kernel itself uses fused coefficient arithmetic instead of these
@@ -185,7 +198,11 @@ class TrajectoryPlan:
     ``mode`` selects the kernel: ``"statevector"`` advances dense ``(B, 2**n)``
     batches and scores them against ``ideal_state``; ``"stabilizer"`` advances
     two-bit Pauli frames and scores them exactly with ``scorer`` (Clifford
-    circuits only).  Exactly one of ``ideal_state`` / ``scorer`` is set.
+    circuits only); ``"sparse"`` advances sorted (index, amplitude) pairs and
+    scores them with ``sparse_scorer`` (see :mod:`repro.simulation.sparse`),
+    spilling a batch to the dense kernel when any trajectory's support
+    exceeds ``spill_nnz``.  Exactly one of ``ideal_state`` / ``scorer`` /
+    ``sparse_scorer`` is set.
     """
 
     num_qubits: int
@@ -194,21 +211,32 @@ class TrajectoryPlan:
     mode: str
     ideal_state: Optional[np.ndarray] = None
     scorer: Optional[StabilizerScorer] = None
+    sparse_program: Optional[SparseProgram] = None
+    sparse_scorer: Optional[SparseScorer] = None
+    spill_nnz: int = 0
 
 
 def build_trajectory_plan(
     circuit: QuantumCircuit,
     noise: NoiseModel,
     mode: str = "auto",
+    *,
+    sparse_spill_nnz: Optional[int] = None,
 ) -> TrajectoryPlan:
     """Fuse a circuit against a noise model and pick the fastest exact kernel.
 
     ``mode="auto"`` selects the stabilizer path exactly when every gate of
-    the circuit is Clifford (both kernels consume the same kick-draw stream,
-    and the stabilizer scorer is exact, so the choice never changes results —
-    only speed and the qubit ceiling).  ``"statevector"`` / ``"stabilizer"``
+    the circuit is Clifford; otherwise the sparse kernel when the static
+    branching-gate bound of :func:`repro.simulation.sparse.estimate_nnz_bound`
+    stays under the dense-equivalent budget of
+    :func:`~repro.simulation.sparse.sparse_auto_budget`; otherwise the dense
+    statevector kernel.  All three kernels consume the same kick-draw stream
+    and score exactly, so the choice never changes results — only speed and
+    the qubit ceiling.  ``"statevector"`` / ``"stabilizer"`` / ``"sparse"``
     force a path; forcing ``"stabilizer"`` on a non-Clifford circuit raises
-    ``ValueError``.
+    ``ValueError``, and a forced-sparse plan may spill to the dense kernel
+    mid-batch once a trajectory's support exceeds ``sparse_spill_nnz``
+    (default :func:`~repro.simulation.sparse.default_spill_nnz`).
     """
     if mode not in PLAN_MODES:
         raise ValueError(f"mode must be one of {PLAN_MODES}, got {mode!r}")
@@ -217,8 +245,10 @@ def build_trajectory_plan(
             f"noise model covers {noise.num_qubits} qubits but the circuit "
             f"has {circuit.num_qubits}"
         )
-    if mode == "auto":
-        mode = "stabilizer" if is_clifford_circuit(circuit) else "statevector"
+    if sparse_spill_nnz is not None and sparse_spill_nnz < 1:
+        raise ValueError("sparse_spill_nnz must be >= 1")
+    if mode == "auto" and is_clifford_circuit(circuit):
+        mode = "stabilizer"
     elif mode == "stabilizer" and not is_clifford_circuit(circuit):
         raise ValueError(
             "mode='stabilizer' requires a Clifford-only circuit; "
@@ -234,6 +264,27 @@ def build_trajectory_plan(
             mode=mode,
             scorer=build_scorer(circuit),
         )
+    if mode in ("auto", "sparse"):
+        program = compile_sparse_program(ops, circuit.num_qubits)
+        budget = sparse_auto_budget(circuit.num_qubits)
+        if mode == "auto":
+            sparse_wins = budget >= 1 and program.nnz_bound <= budget
+            mode = "sparse" if sparse_wins else "statevector"
+        if mode == "sparse":
+            spill = (
+                sparse_spill_nnz
+                if sparse_spill_nnz is not None
+                else default_spill_nnz(circuit.num_qubits)
+            )
+            return TrajectoryPlan(
+                num_qubits=circuit.num_qubits,
+                ops=ops,
+                kick_cumweights=cumweights,
+                mode=mode,
+                sparse_program=program,
+                sparse_scorer=build_sparse_scorer(program),
+                spill_nnz=spill,
+            )
     ideal = apply_fused_ops(zero_state(circuit.num_qubits), ops, circuit.num_qubits)
     return TrajectoryPlan(
         num_qubits=circuit.num_qubits,
@@ -262,6 +313,9 @@ class TrajectoryResult:
         ceiling for ``success_probability``.
     kicks:
         Total number of Pauli kicks injected across all trajectories.
+    nnz_peak:
+        Peak per-trajectory nonzero amplitudes observed by the sparse
+        kernel (0 for the dense and stabilizer kernels, which never count).
     """
 
     num_qubits: int
@@ -269,6 +323,7 @@ class TrajectoryResult:
     success_probs: Tuple[float, ...]
     ideal_success: float
     kicks: int
+    nnz_peak: int = 0
 
     @property
     def num_trajectories(self) -> int:
@@ -313,6 +368,7 @@ class TrajectoryResult:
             success_probs=tuple(p for part in parts for p in part.success_probs),
             ideal_success=first.ideal_success,
             kicks=sum(part.kicks for part in parts),
+            nnz_peak=max(part.nnz_peak for part in parts),
         )
 
 
@@ -798,12 +854,18 @@ def run_trajectory_batch(
     ``repro bench --fidelity`` reports.
     """
     start = time.perf_counter()
+    nnz_peak = 0
     with telemetry.span(
         "sim.batch", qubits=plan.num_qubits, batch=batch, mode=plan.mode
     ):
         if plan.mode == "stabilizer":
             frame_x, frame_z, kicks = advance_pauli_frames(
                 plan.ops, plan.num_qubits, batch, rng, plan.kick_cumweights
+            )
+        elif plan.mode == "sparse":
+            sparse_states, kicks, nnz_peak, spilled = advance_sparse_batch(
+                plan.sparse_program, batch, rng, plan.kick_cumweights,
+                plan.spill_nnz,
             )
         else:
             states, kicks = advance_noisy_batch(
@@ -817,6 +879,15 @@ def run_trajectory_batch(
     if plan.mode == "stabilizer":
         fidelities, success = plan.scorer.score(frame_x, frame_z)
         ideal_success = plan.scorer.ideal_success
+    elif plan.mode == "sparse":
+        telemetry.histogram("sim.nnz_peak").observe(nnz_peak)
+        if spilled:
+            telemetry.counter("sim.sparse_spills").inc()
+            fidelities, success = plan.sparse_scorer.score_dense(sparse_states)
+        else:
+            keys, amps = sparse_states
+            fidelities, success = plan.sparse_scorer.score(keys, amps, batch)
+        ideal_success = plan.sparse_scorer.ideal_success
     else:
         ideal_state = plan.ideal_state
         fidelities = np.abs(states @ ideal_state.conj()) ** 2
@@ -829,6 +900,7 @@ def run_trajectory_batch(
         success_probs=tuple(float(p) for p in success),
         ideal_success=ideal_success,
         kicks=kicks,
+        nnz_peak=nnz_peak,
     )
 
 

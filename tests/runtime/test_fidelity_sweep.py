@@ -38,6 +38,29 @@ class TestFidelityOptions:
             FidelityOptions(batch_size=0)
         with pytest.raises(ValueError, match="max_qubits"):
             FidelityOptions(max_qubits=30)
+        with pytest.raises(ValueError, match="mode"):
+            FidelityOptions(mode="tensor")
+
+    def test_mode_defaults_to_auto_and_round_trips(self):
+        assert FidelityOptions().mode == "auto"
+        forced = FidelityOptions(mode="sparse")
+        assert forced.as_dict()["mode"] == "sparse"
+        assert FidelityOptions.from_dict(forced.as_dict()) == forced
+        # Dicts persisted before the mode knob existed still deserialize.
+        legacy = {k: v for k, v in FIDELITY.as_dict().items() if k != "mode"}
+        assert FidelityOptions.from_dict(legacy) == FIDELITY
+
+    def test_mode_is_part_of_the_job_key(self):
+        keys = {
+            job_key(
+                ExperimentSpec(
+                    benchmark="bv", backend="opt8", num_qubits=8,
+                    fidelity=FidelityOptions(mode=mode),
+                )
+            )
+            for mode in ("auto", "statevector", "stabilizer")
+        }
+        assert len(keys) == 3
 
     def test_options_are_part_of_the_job_key(self):
         base = ExperimentSpec(benchmark="bv", backend="opt8", num_qubits=8)
@@ -88,6 +111,22 @@ class TestFidelitySweep:
             assert row["ideal_success"] is None
             assert row["state_fidelity"] is None
             assert row["trajectories"] == 0
+
+    def test_forced_mode_rows_match_auto(self, tmp_path):
+        # BV compiles to a Clifford-dressed circuit only when its phases are
+        # Clifford; either way, forcing the statevector kernel must not
+        # change a single fidelity column — only the kernel that computes it.
+        auto = run_sweep(small_grid(), store=ResultStore(tmp_path / "auto"))
+        forced = run_sweep(
+            small_grid(fidelity=FidelityOptions(
+                trajectories=20, batch_size=8, noise_seed=1, max_qubits=12,
+                mode="statevector",
+            )),
+            store=ResultStore(tmp_path / "forced"),
+        )
+        for row_auto, row_forced in zip(auto.rows, forced.rows):
+            assert row_auto["success_probability"] == row_forced["success_probability"]
+            assert row_auto["state_fidelity"] == row_forced["state_fidelity"]
 
     def test_spec_describe_includes_fidelity(self):
         spec = ExperimentSpec(

@@ -1,0 +1,213 @@
+"""Tests of trajectory-plan kernel selection and the spill-to-dense path.
+
+``build_trajectory_plan(mode="auto")`` arbitrates between three exact
+kernels — stabilizer for Clifford circuits, sparse under the static
+nonzero budget, dense statevector otherwise.  These tests pin the
+selection boundaries, the explicit-mode error paths, the mid-batch
+spill-to-dense escape hatch, and the mode plumbing through payloads and
+:func:`run_trajectories`.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.circuits.benchmarks import ghz_phase_circuit
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulation import NoiseModel
+from repro.simulation.engine import run_trajectories
+from repro.simulation.sparse import sparse_auto_budget
+from repro.simulation.trajectories import (
+    PLAN_MODES,
+    TrajectoryResult,
+    build_trajectory_plan,
+    run_trajectory_batch,
+    trajectory_batch_payloads,
+)
+
+
+def branching_circuit(num_qubits, h_count):
+    """``h_count`` branching qubits plus one rz to dodge the Clifford path."""
+    circuit = QuantumCircuit(num_qubits)
+    for qubit in range(h_count):
+        circuit.h(qubit)
+    circuit.rz(0.37, 0)
+    return circuit
+
+
+class TestAutoSelection:
+    def test_clifford_circuit_takes_stabilizer(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).cx(0, 1).cz(1, 2).s(3)
+        plan = build_trajectory_plan(circuit, NoiseModel.uniform(4))
+        assert plan.mode == "stabilizer"
+
+    def test_low_entanglement_non_clifford_takes_sparse(self):
+        circuit = ghz_phase_circuit(num_qubits=20, num_layers=2, seed=0)
+        plan = build_trajectory_plan(circuit, NoiseModel.uniform(20))
+        assert plan.mode == "sparse"
+        assert plan.sparse_program.nnz_bound == 2
+
+    def test_budget_boundary_at_twelve_qubits(self):
+        # 2**12 // 64 == 64: six branching qubits (bound 64) still fit the
+        # budget, a seventh (bound 128) tips auto over to the dense kernel.
+        assert sparse_auto_budget(12) == 64
+        noise = NoiseModel.uniform(12)
+        at_budget = build_trajectory_plan(branching_circuit(12, 6), noise)
+        assert at_budget.mode == "sparse"
+        over_budget = build_trajectory_plan(branching_circuit(12, 7), noise)
+        assert over_budget.mode == "statevector"
+
+    def test_tiny_registers_never_auto_select_sparse(self):
+        # 2**5 // 64 == 0: the dense kernel wins outright below ~7 qubits.
+        assert sparse_auto_budget(5) == 0
+        plan = build_trajectory_plan(branching_circuit(5, 1), NoiseModel.uniform(5))
+        assert plan.mode == "statevector"
+
+    def test_auto_never_spills(self):
+        """The static bound is a true ceiling, so auto plans cannot spill."""
+        circuit = branching_circuit(12, 6)
+        plan = build_trajectory_plan(circuit, NoiseModel.uniform(12, 0.1, 0.2))
+        assert plan.mode == "sparse"
+        assert plan.sparse_program.nnz_bound <= plan.spill_nnz
+        result = run_trajectory_batch(plan, 10, np.random.default_rng(0))
+        assert result.nnz_peak <= plan.sparse_program.nnz_bound
+
+
+class TestExplicitModes:
+    def test_unknown_mode_rejected(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        with pytest.raises(ValueError, match="mode must be one of"):
+            build_trajectory_plan(circuit, NoiseModel.uniform(2), mode="tensor")
+
+    def test_stabilizer_on_non_clifford_rejected(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).rz(0.3, 1)
+        with pytest.raises(ValueError, match="Clifford"):
+            build_trajectory_plan(circuit, NoiseModel.uniform(2), mode="stabilizer")
+
+    def test_spill_threshold_must_be_positive(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        with pytest.raises(ValueError, match="sparse_spill_nnz"):
+            build_trajectory_plan(
+                circuit, NoiseModel.uniform(2), mode="sparse", sparse_spill_nnz=0
+            )
+
+    def test_forced_sparse_on_wide_dense_circuit_rejected(self):
+        """Past the dense fallback ceiling a forced-sparse plan whose ideal
+        support explodes cannot be scored and is rejected up front."""
+        circuit = QuantumCircuit(25)
+        for qubit in range(25):
+            circuit.h(qubit)
+        circuit.rz(0.3, 0)
+        with pytest.raises(ValueError, match="support"):
+            build_trajectory_plan(circuit, NoiseModel.uniform(25), mode="sparse")
+
+    def test_forced_statevector_matches_auto_results(self):
+        circuit = ghz_phase_circuit(num_qubits=8, num_layers=2, seed=1)
+        noise = NoiseModel.uniform(8, 0.05, 0.1)
+        auto = build_trajectory_plan(circuit, noise)  # picks sparse
+        forced = build_trajectory_plan(circuit, noise, mode="statevector")
+        assert auto.mode == "sparse" and forced.mode == "statevector"
+        got = run_trajectory_batch(auto, 6, np.random.default_rng(3))
+        want = run_trajectory_batch(forced, 6, np.random.default_rng(3))
+        assert got.kicks == want.kicks
+        assert got.fidelities == pytest.approx(want.fidelities, abs=1e-12)
+        assert got.success_probs == pytest.approx(want.success_probs, abs=1e-12)
+
+
+class TestSpillToDense:
+    def make_case(self, master):
+        n = 6
+        circuit = QuantumCircuit(n)
+        for _ in range(18):
+            roll = master.random()
+            if roll < 0.4:
+                circuit.h(int(master.integers(n)))
+            elif roll < 0.7:
+                qubits = master.choice(n, size=2, replace=False).tolist()
+                circuit.cx(qubits[0], qubits[1])
+            else:
+                circuit.ry(float(master.uniform(0, np.pi)), int(master.integers(n)))
+        return circuit, NoiseModel.uniform(n, 0.08, 0.15)
+
+    def test_mid_batch_spill_matches_statevector(self):
+        """A forced-sparse plan with a tiny spill threshold densifies
+        mid-circuit and still reproduces the dense kernel bit for bit."""
+        master = np.random.default_rng(42)
+        spilled_at_least_once = False
+        for _ in range(10):
+            circuit, noise = self.make_case(master)
+            seed = int(master.integers(2**31))
+            sparse_plan = build_trajectory_plan(
+                circuit, noise, mode="sparse", sparse_spill_nnz=2
+            )
+            dense_plan = build_trajectory_plan(circuit, noise, mode="statevector")
+            got = run_trajectory_batch(sparse_plan, 7, np.random.default_rng(seed))
+            want = run_trajectory_batch(dense_plan, 7, np.random.default_rng(seed))
+            assert got.kicks == want.kicks
+            assert got.fidelities == pytest.approx(want.fidelities, abs=1e-12)
+            assert got.success_probs == pytest.approx(want.success_probs, abs=1e-12)
+            spilled_at_least_once |= got.nnz_peak > 2
+        assert spilled_at_least_once
+
+    def test_spill_increments_telemetry_counter(self):
+        telemetry.reset()
+        circuit = QuantumCircuit(5)
+        for qubit in range(5):
+            circuit.h(qubit)
+        circuit.rz(0.3, 0)
+        plan = build_trajectory_plan(
+            circuit, NoiseModel.uniform(5), mode="sparse", sparse_spill_nnz=2
+        )
+        result = run_trajectory_batch(plan, 4, np.random.default_rng(0))
+        assert result.nnz_peak > 2
+        metrics = telemetry.snapshot_metrics()
+        assert metrics["counters"].get("sim.sparse_spills", 0) >= 1
+        assert metrics["histograms"]["sim.nnz_peak"]["count"] >= 1
+        telemetry.reset()
+
+
+class TestModePlumbing:
+    def test_payloads_carry_the_planned_mode(self):
+        circuit = ghz_phase_circuit(num_qubits=10, num_layers=1, seed=0)
+        noise = NoiseModel.uniform(10)
+        for mode, expected in (
+            ("auto", "sparse"),
+            ("sparse", "sparse"),
+            ("statevector", "statevector"),
+        ):
+            payloads = trajectory_batch_payloads(
+                circuit, noise, 10, seed=0, batch_size=5, mode=mode
+            )
+            assert all(plan.mode == expected for plan, _, _ in payloads)
+
+    def test_run_trajectories_mode_is_result_invariant(self):
+        circuit = ghz_phase_circuit(num_qubits=9, num_layers=2, seed=4)
+        noise = NoiseModel.uniform(9, 0.02, 0.05)
+        results = [
+            run_trajectories(
+                circuit, noise, num_trajectories=20, seed=1, batch_size=8, mode=mode
+            )
+            for mode in ("sparse", "statevector")
+        ]
+        assert results[0].kicks == results[1].kicks
+        assert results[0].fidelities == pytest.approx(
+            results[1].fidelities, abs=1e-12
+        )
+        assert results[0].nnz_peak > 0 and results[1].nnz_peak == 0
+
+    def test_plan_modes_tuple_is_the_public_contract(self):
+        assert PLAN_MODES == ("auto", "statevector", "stabilizer", "sparse")
+
+    def test_merge_takes_max_nnz_peak(self):
+        parts = [
+            TrajectoryResult(
+                num_qubits=3, fidelities=(1.0,), success_probs=(1.0,),
+                ideal_success=1.0, kicks=0, nnz_peak=peak,
+            )
+            for peak in (2, 7, 3)
+        ]
+        assert TrajectoryResult.merge(parts).nnz_peak == 7

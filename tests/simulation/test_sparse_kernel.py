@@ -1,0 +1,330 @@
+"""Tests of the sparse low-entanglement trajectory kernel.
+
+The sparse kernel's contract is amplitude-for-amplitude equality with the
+dense statevector kernel under the identical kick-draw stream.  Hypothesis
+cross-checks random noisy circuits against :func:`advance_noisy_batch`;
+unit tests pin each op kind, the static nonzero bound, the kick stream, the
+scorer, and the 28-qubit past-the-dense-ceiling path.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.benchmarks import ghz_phase_circuit
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulation import NoiseModel
+from repro.simulation.sparse import (
+    SPARSE_NNZ_CAP,
+    apply_sparse_op,
+    advance_sparse_batch,
+    build_sparse_scorer,
+    compile_sparse_program,
+    estimate_nnz_bound,
+    sparse_auto_budget,
+    sparse_to_dense,
+)
+from repro.simulation.trajectories import (
+    advance_noisy_batch,
+    build_trajectory_plan,
+    fuse_circuit,
+    run_trajectory_batch,
+)
+
+ONE_QUBIT = [("h", 0), ("x", 0), ("y", 0), ("z", 0), ("s", 0), ("t", 0),
+             ("sx", 0), ("rx", 1), ("ry", 1), ("rz", 1), ("p", 1)]
+TWO_QUBIT = [("cx", 0), ("cz", 0), ("swap", 0), ("cp", 1), ("rzz", 1)]
+
+angles = st.floats(min_value=-2 * math.pi, max_value=2 * math.pi,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def noisy_cases(draw, max_qubits=12, max_gates=25):
+    """A random circuit plus noise rates, batch size, and trajectory seed."""
+    num_qubits = draw(st.integers(1, max_qubits))
+    circuit = QuantumCircuit(num_qubits)
+    pools = ONE_QUBIT + (TWO_QUBIT if num_qubits >= 2 else [])
+    for _ in range(draw(st.integers(1, max_gates))):
+        name, num_params = draw(st.sampled_from(pools))
+        arity = 2 if (name, num_params) in TWO_QUBIT else 1
+        qubits = draw(
+            st.lists(st.integers(0, num_qubits - 1), min_size=arity,
+                     max_size=arity, unique=True)
+        )
+        params = tuple(draw(angles) for _ in range(num_params))
+        circuit.add(name, qubits, params)
+    single = draw(st.floats(0.0, 0.2))
+    cz = draw(st.floats(0.0, 0.3))
+    batch = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return circuit, single, cz, batch, seed
+
+
+def sparse_setup(circuit, single, cz):
+    noise = NoiseModel.uniform(circuit.num_qubits, single, cz)
+    ops = tuple(fuse_circuit(circuit, noise))
+    program = compile_sparse_program(ops, circuit.num_qubits)
+    return ops, program, noise.kick_cumulative_weights()
+
+
+def assert_matches_dense(circuit, single, cz, batch, seed):
+    """Sparse and dense kernels agree amplitude for amplitude."""
+    n = circuit.num_qubits
+    ops, program, cumweights = sparse_setup(circuit, single, cz)
+    rng_sparse = np.random.default_rng(seed)
+    states, kicks, nnz_peak, spilled = advance_sparse_batch(
+        program, batch, rng_sparse, cumweights, spill_nnz=1 << n
+    )
+    assert not spilled
+    keys, amps = states
+    got = sparse_to_dense(keys, amps, n, batch)
+    rng_dense = np.random.default_rng(seed)
+    want, kicks_want = advance_noisy_batch(ops, n, batch, rng_dense, cumweights)
+    assert kicks == kicks_want
+    # Identical draw-stream positions: later consumers see the same stream.
+    assert rng_sparse.bit_generator.state == rng_dense.bit_generator.state
+    assert np.allclose(got, want, rtol=0, atol=1e-12)
+    assert nnz_peak <= 1 << n
+
+
+class TestDenseEquivalence:
+    @given(noisy_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dense_kernel(self, case):
+        assert_matches_dense(*case)
+
+    @pytest.mark.slow
+    @given(noisy_cases(max_qubits=12, max_gates=60))
+    @settings(max_examples=300, deadline=None)
+    def test_matches_dense_kernel_exhaustive(self, case):
+        assert_matches_dense(*case)
+
+    def test_scoring_matches_statevector_plan(self):
+        master = np.random.default_rng(11)
+        for _ in range(6):
+            n = int(master.integers(2, 6))
+            circuit = QuantumCircuit(n)
+            for _ in range(15):
+                name, num_params = (
+                    TWO_QUBIT[int(master.integers(len(TWO_QUBIT)))]
+                    if master.random() < 0.4
+                    else ONE_QUBIT[int(master.integers(len(ONE_QUBIT)))]
+                )
+                arity = 2 if (name, num_params) in TWO_QUBIT else 1
+                qubits = master.choice(n, size=arity, replace=False).tolist()
+                params = tuple(
+                    float(master.uniform(-np.pi, np.pi)) for _ in range(num_params)
+                )
+                circuit.add(name, qubits, params)
+            noise = NoiseModel.uniform(n, 0.05, 0.1)
+            seed = int(master.integers(2**31))
+            sparse_plan = build_trajectory_plan(circuit, noise, mode="sparse")
+            dense_plan = build_trajectory_plan(circuit, noise, mode="statevector")
+            got = run_trajectory_batch(sparse_plan, 5, np.random.default_rng(seed))
+            want = run_trajectory_batch(dense_plan, 5, np.random.default_rng(seed))
+            assert got.kicks == want.kicks
+            assert got.ideal_success == pytest.approx(want.ideal_success, abs=1e-12)
+            assert got.fidelities == pytest.approx(want.fidelities, abs=1e-12)
+            assert got.success_probs == pytest.approx(want.success_probs, abs=1e-12)
+
+
+class TestOpKinds:
+    def run_noiseless(self, circuit, batch=3):
+        ops, program, cumweights = sparse_setup(circuit, 0.0, 0.0)
+        (keys, amps), kicks, _, spilled = advance_sparse_batch(
+            program, batch, np.random.default_rng(0), cumweights,
+            spill_nnz=1 << circuit.num_qubits,
+        )
+        assert kicks == 0 and not spilled
+        return keys, amps, sparse_to_dense(keys, amps, circuit.num_qubits, batch)
+
+    def test_perm_diag_circuit_is_exact(self):
+        """Permutation/diagonal ops move amplitudes bitwise untouched."""
+        circuit = QuantumCircuit(4)
+        circuit.x(0).cx(0, 1).swap(1, 2).cz(2, 3).s(3).t(0).rz(0.37, 1).z(2)
+        ops, program, cumweights = sparse_setup(circuit, 0.0, 0.0)
+        keys, amps, got = self.run_noiseless(circuit)
+        assert keys.size == 3  # one amplitude per trajectory, support never grew
+        want, _ = advance_noisy_batch(ops, 4, 3, np.random.default_rng(0), cumweights)
+        assert np.array_equal(got, want)
+
+    def test_dense1_pairs_and_prunes(self):
+        """H branches the support; a later H cancels it back to one amplitude.
+
+        The intervening CX pair keeps the two H's in separate fused ops
+        (adjacent single-qubit gates would fuse into one near-identity) while
+        contributing only an identity permutation overall.
+        """
+        circuit = QuantumCircuit(3)
+        circuit.h(1)
+        keys, _, _ = self.run_noiseless(circuit, batch=2)
+        assert keys.size == 4
+        circuit.cx(1, 0).cx(1, 0).h(1)
+        keys, amps, _ = self.run_noiseless(circuit, batch=2)
+        assert keys.size == 2  # the 0.5 - 0.5 branch cancelled to an exact zero
+        assert np.allclose(np.abs(amps), 1.0, atol=1e-12)
+
+    def test_dense_two_qubit_groups_by_untouched_bits(self):
+        """A generic 4x4 unitary (no library gate produces one — every
+        two-qubit library gate is diag or perm — so build the op by hand)
+        matches ``apply_matrix`` on a random sparse state."""
+        from repro.circuits.simulator import apply_matrix
+        from repro.simulation.sparse import SparseOp
+
+        rng = np.random.default_rng(3)
+        raw = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        unitary, _ = np.linalg.qr(raw)
+        for targets in ((0, 2), (2, 1)):
+            patterns = np.zeros(4, dtype=np.int64)
+            for slot, target in enumerate(targets):
+                patterns |= ((np.arange(4, dtype=np.int64) >> slot) & 1) << target
+            op = SparseOp("dense", unitary, targets, (), patterns=patterns)
+            n = 3
+            dense = np.zeros((1, 1 << n), dtype=complex)
+            occupied = np.array([0, 3, 5], dtype=np.int64)
+            values = rng.standard_normal(3) + 1j * rng.standard_normal(3)
+            dense[0, occupied] = values
+            keys, amps = apply_sparse_op(occupied.copy(), values.copy(), op)
+            got = sparse_to_dense(keys, amps, n, 1)
+            want = apply_matrix(dense, unitary, targets, n)
+            assert np.allclose(got, want, rtol=0, atol=1e-12)
+
+    def test_apply_sparse_op_keeps_keys_sorted(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).h(1)
+        _, program, _ = sparse_setup(circuit, 0.0, 0.0)
+        keys = np.zeros(1, dtype=np.int64)
+        amps = np.ones(1, dtype=complex)
+        for op in program.ops:
+            keys, amps = apply_sparse_op(keys, amps, op)
+            assert np.all(np.diff(keys) > 0)
+
+
+class TestKicks:
+    def test_kick_stream_position_is_hit_independent(self):
+        """Quiet and loud noise consume identical per-site draw counts."""
+        circuit = ghz_phase_circuit(num_qubits=5, num_layers=2, seed=3)
+        for single, cz in ((1e-12, 1e-12), (0.4, 0.4)):
+            ops, program, cumweights = sparse_setup(circuit, single, cz)
+            rng = np.random.default_rng(9)
+            advance_sparse_batch(program, 4, rng, cumweights, spill_nnz=32)
+            if single < 1e-6:
+                quiet_state = rng.bit_generator.state
+            else:
+                assert rng.bit_generator.state == quiet_state
+
+    def test_high_noise_still_matches_dense(self):
+        circuit = ghz_phase_circuit(num_qubits=6, num_layers=3, seed=5)
+        assert_matches_dense(circuit, 0.35, 0.5, 6, 12345)
+
+
+class TestNnzBound:
+    def test_diag_perm_ops_do_not_grow_bound(self):
+        circuit = QuantumCircuit(5)
+        circuit.x(0).cx(0, 1).cz(1, 2).rz(0.3, 3).swap(3, 4).t(2)
+        ops = tuple(fuse_circuit(circuit, NoiseModel.uniform(5)))
+        assert estimate_nnz_bound(ops, 5) == 1
+
+    def test_each_branching_qubit_doubles_the_bound(self):
+        for h_count in (1, 2, 3):
+            circuit = QuantumCircuit(6)
+            for q in range(h_count):
+                circuit.h(q)
+            ops = tuple(fuse_circuit(circuit, NoiseModel.uniform(6)))
+            assert estimate_nnz_bound(ops, 6) == 1 << h_count
+
+    def test_bound_caps_at_full_hilbert_space(self):
+        circuit = QuantumCircuit(3)
+        for _ in range(4):
+            for q in range(3):
+                circuit.h(q)
+        ops = tuple(fuse_circuit(circuit, NoiseModel.uniform(3)))
+        assert estimate_nnz_bound(ops, 3) == 8
+
+    def test_bound_is_a_true_ceiling_at_runtime(self):
+        """Observed nnz_peak never exceeds the compiled static bound."""
+        master = np.random.default_rng(21)
+        for _ in range(10):
+            case_rng = np.random.default_rng(int(master.integers(2**31)))
+            circuit = QuantumCircuit(5)
+            for _ in range(12):
+                roll = case_rng.random()
+                if roll < 0.3:
+                    circuit.h(int(case_rng.integers(5)))
+                elif roll < 0.6:
+                    qubits = case_rng.choice(5, size=2, replace=False).tolist()
+                    circuit.cx(qubits[0], qubits[1])
+                else:
+                    circuit.rz(float(case_rng.uniform(0, np.pi)), int(case_rng.integers(5)))
+            ops, program, cumweights = sparse_setup(circuit, 0.1, 0.2)
+            _, _, nnz_peak, spilled = advance_sparse_batch(
+                program, 5, np.random.default_rng(1), cumweights, spill_nnz=32
+            )
+            if not spilled:
+                assert nnz_peak <= program.nnz_bound
+
+    def test_auto_budget_shape(self):
+        assert sparse_auto_budget(5) == 0  # 32 // 64: sparse can't win tiny registers
+        assert sparse_auto_budget(12) == 64
+        assert sparse_auto_budget(30) == SPARSE_NNZ_CAP  # absolute cap dominates
+
+
+class TestGuards:
+    def test_too_many_qubits_for_int64_keys(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        ops = tuple(fuse_circuit(circuit, NoiseModel.uniform(2)))
+        with pytest.raises(ValueError, match="62"):
+            compile_sparse_program(ops, 63)
+
+    def test_batch_qubit_fold_overflow(self):
+        circuit = ghz_phase_circuit(num_qubits=40, num_layers=1)
+        ops, program, cumweights = sparse_setup(circuit, 0.0, 0.0)
+        with pytest.raises(ValueError, match="fold"):
+            advance_sparse_batch(
+                program, 1 << 23, np.random.default_rng(0), cumweights, spill_nnz=4
+            )
+
+    def test_batch_must_be_positive(self):
+        circuit = ghz_phase_circuit(num_qubits=4, num_layers=1)
+        _, program, cumweights = sparse_setup(circuit, 0.0, 0.0)
+        with pytest.raises(ValueError, match="batch"):
+            advance_sparse_batch(program, 0, np.random.default_rng(0), cumweights, 4)
+
+
+class TestScorer:
+    def test_sparse_and_dense_scoring_paths_agree(self):
+        circuit = ghz_phase_circuit(num_qubits=6, num_layers=2, seed=1)
+        ops, program, cumweights = sparse_setup(circuit, 0.1, 0.2)
+        scorer = build_sparse_scorer(program)
+        (keys, amps), _, _, _ = advance_sparse_batch(
+            program, 5, np.random.default_rng(7), cumweights, spill_nnz=64
+        )
+        fid_sparse, suc_sparse = scorer.score(keys, amps, 5)
+        dense = sparse_to_dense(keys, amps, 6, 5)
+        fid_dense, suc_dense = scorer.score_dense(dense)
+        assert np.allclose(fid_sparse, fid_dense, atol=1e-12)
+        assert np.allclose(suc_sparse, suc_dense, atol=1e-12)
+
+    def test_ghz_ideal_support_is_two(self):
+        circuit = ghz_phase_circuit(num_qubits=30, num_layers=3, seed=2)
+        _, program, _ = sparse_setup(circuit, 0.0, 0.0)
+        scorer = build_sparse_scorer(program)
+        assert scorer.indices.size == 2
+        assert scorer.ideal_success == pytest.approx(0.5, abs=1e-12)
+
+
+class TestPastDenseCeiling:
+    def test_28_qubit_ghz_runs_to_completion(self):
+        """The acceptance workload: 28 qubits, far past the dense kernel."""
+        circuit = ghz_phase_circuit(num_qubits=28, num_layers=3, seed=0)
+        noise = NoiseModel.uniform(28, 1e-3, 1e-2)
+        plan = build_trajectory_plan(circuit, noise, mode="auto")
+        assert plan.mode == "sparse"
+        result = run_trajectory_batch(plan, 25, np.random.default_rng(0))
+        assert result.num_trajectories == 25
+        assert result.nnz_peak == 2
+        assert all(0.0 <= f <= 1.0 + 1e-9 for f in result.fidelities)
