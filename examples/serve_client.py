@@ -1,0 +1,113 @@
+"""Executable README example: the `repro serve` daemon and its HTTP client.
+
+CI runs this script (like ``quickstart.py``) so the documented serving
+surface cannot silently rot.  It starts a real ``repro serve`` daemon in a
+subprocess, submits jobs over HTTP with :class:`repro.queue.QueueClient`,
+polls a :class:`RemoteJobHandle`, shows the shared result cache and the
+power-aware admission policy, and shuts the daemon down cleanly.
+"""
+
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.queue import QueueClient, QueueStore
+from repro.runtime.spec import ExperimentSpec
+
+
+def start_daemon(root: Path, cache_dir: Path) -> tuple[subprocess.Popen, str]:
+    """Launch `repro serve` on an ephemeral port and wait for daemon.json."""
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.runtime", "serve",
+            "--root", str(root),
+            "--cache-dir", str(cache_dir),
+            "--port", "0",
+            "--workers", "2",
+            "--poll-interval", "0.1",
+        ],
+    )
+    store = QueueStore(root)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        info = store.read_daemon()
+        if info is not None and info.get("pid") == process.pid:
+            return process, info["url"]
+        if process.poll() is not None:
+            raise RuntimeError("repro serve exited during startup")
+        time.sleep(0.05)
+    process.kill()
+    raise RuntimeError("repro serve did not advertise itself within 30s")
+
+
+def submit_poll_collect(client: QueueClient) -> None:
+    """Submit over HTTP, poll the remote handle, collect the result row."""
+    spec = ExperimentSpec(benchmark="bv", num_qubits=12, seed=0)
+    handle = client.submit(spec, priority="interactive", session="readme")
+    print("submitted:", handle.job_id, f"({handle.job.power_w:.3f} W)")
+    result = handle.result(timeout=120.0)
+    assert handle.status().value == "done"
+    assert result.row["benchmark"] == "bv"
+    print(
+        "collected:", result.key[:16],
+        "depth =", result.row["depth"],
+        "digiq_time_us =", result.row["digiq_time_us"],
+    )
+
+    # a second submission of the same spec is served from the result cache
+    again = client.submit(spec).result(timeout=30.0)
+    assert again.key == result.key
+    assert client.stats()["cache_hits"] >= 1
+    print("repeat submission hit the shared result cache")
+
+
+def power_aware_admission(client: QueueClient) -> None:
+    """A deferrable job priced over the fridge budget parks until cancelled."""
+    stats = client.stats()
+    wide = ExperimentSpec(
+        benchmark="bv", num_qubits=1000, backend="cryo-cmos-grid"
+    )
+    handle = client.submit(wide, priority="deferrable")
+    print(
+        f"deferrable 1000-qubit job prices at {handle.job.power_w:.1f} W "
+        f"against a {stats['budget_w']:.1f} W budget -> parked"
+    )
+    assert handle.job.power_w > stats["budget_w"]
+    time.sleep(0.5)  # several scheduler ticks: it must stay queued
+    assert handle.status().value == "queued"
+    assert handle.cancel() is True
+    assert handle.cancelled()
+    print("parked job cancelled cleanly")
+
+
+def queue_stats(client: QueueClient) -> None:
+    """GET /queue/stats mirrors `repro queue stats`."""
+    stats = client.stats()
+    assert stats["depths"]["done"] >= 2
+    assert stats["depths"]["cancelled"] >= 1
+    print(
+        "queue stats: depths =", stats["depths"],
+        f"| peak power in flight = {stats['peak_power_in_flight_w']:.3f} W",
+    )
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(scratch) / "queue"
+        daemon, url = start_daemon(root, Path(scratch) / "cache")
+        try:
+            client = QueueClient(url=url)  # or QueueClient(root=root)
+            submit_poll_collect(client)
+            power_aware_admission(client)
+            queue_stats(client)
+            client.shutdown()
+            daemon.wait(timeout=30.0)
+            assert daemon.returncode == 0
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10.0)
+    print()
+    print("serve/client examples: OK")

@@ -64,18 +64,24 @@ class Estimator:
     store:
         Result store for the private session (ignored when an existing
         session is passed).
+    queue:
+        Submission path for the private session's cache misses: a
+        :class:`~repro.queue.client.QueueClient`, a ``repro serve`` URL, or
+        ``True`` for daemon discovery (ignored when an existing session is
+        passed).  Results stay byte-identical to local execution.
     """
 
     def __init__(
         self,
         backend: Union[Session, Backend, str],
         store: Optional[ResultStore] = None,
+        queue=None,
     ):
         if isinstance(backend, Session):
             self.session = backend
             self._private_session = False
         else:
-            self.session = Session(backend, store=store)
+            self.session = Session(backend, store=store, queue=queue)
             self._private_session = True
 
     # -- pairing --------------------------------------------------------------------

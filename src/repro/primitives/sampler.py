@@ -100,6 +100,11 @@ class Sampler:
     store:
         Result store for the private session (ignored when an existing
         session is passed).
+    queue:
+        Submission path for the private session's cache misses: a
+        :class:`~repro.queue.client.QueueClient`, a ``repro serve`` URL, or
+        ``True`` for daemon discovery (ignored when an existing session is
+        passed).  Results stay byte-identical to local execution.
     """
 
     def __init__(
@@ -107,6 +112,7 @@ class Sampler:
         backend: Union[Session, Backend, str],
         default_shots: int = 1024,
         store: Optional[ResultStore] = None,
+        queue=None,
     ):
         if default_shots < 1:
             raise ValueError("default_shots must be >= 1")
@@ -114,7 +120,7 @@ class Sampler:
             self.session = backend
             self._private_session = False
         else:
-            self.session = Session(backend, store=store)
+            self.session = Session(backend, store=store, queue=queue)
             self._private_session = True
         self.default_shots = default_shots
 

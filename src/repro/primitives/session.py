@@ -67,6 +67,14 @@ class Session:
         :func:`repro.runtime.dispatch.default_worker_count` (which honours
         ``REPRO_MAX_WORKERS``).  The pool is created lazily, so sessions
         that only resolve lazily never start a thread.
+    queue:
+        Route cache misses through a ``repro serve`` daemon instead of
+        executing in-process: a :class:`~repro.queue.client.QueueClient`,
+        a daemon URL string, or ``True`` to discover the daemon from the
+        default queue root.  Results are byte-identical to local execution
+        (the daemon funnels through the same
+        :func:`~repro.runtime.jobs.execute_spec` under the same job keys),
+        and cache layers still apply — only actual misses travel.
     """
 
     def __init__(
@@ -74,9 +82,11 @@ class Session:
         backend: Union[str, Backend],
         store: Optional[ResultStore] = None,
         max_workers: Optional[int] = None,
+        queue=None,
     ):
         self.backend = get_backend(backend)
         self.store = store
+        self.queue = self._resolve_queue(queue)
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self._max_workers = max_workers
@@ -87,6 +97,18 @@ class Session:
         self._closed = False
         self.compile_hits = 0
         self.compile_misses = 0
+
+    @staticmethod
+    def _resolve_queue(queue):
+        if queue is None or queue is False:
+            return None
+        from ..queue.client import QueueClient  # deferred: keeps import light
+
+        if queue is True:
+            return QueueClient()
+        if isinstance(queue, str):
+            return QueueClient(url=queue)
+        return queue  # an existing QueueClient (or compatible test double)
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -181,12 +203,16 @@ class Session:
                     self._memory[key] = result
                 telemetry.counter("session.jobs.cached").inc()
                 return result, True
-        result = execute_spec(spec, key=key, compiled=self.compiled_for(spec))
+        if self.queue is not None:
+            result = self.queue.submit(spec).result()
+            telemetry.counter("session.jobs.queued").inc()
+        else:
+            result = execute_spec(spec, key=key, compiled=self.compiled_for(spec))
+            telemetry.counter("session.jobs.computed").inc()
         if self.store is not None:
             self.store.put(key, result.as_dict())
         with self._lock:
             self._memory[key] = result
-        telemetry.counter("session.jobs.computed").inc()
         return result, False
 
     def make_specs(

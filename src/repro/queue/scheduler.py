@@ -1,0 +1,329 @@
+"""Power-aware admission scheduling over the durable queue.
+
+The policy enforces the paper's fridge constraint at runtime: every job is
+priced by the backend cost model (:func:`repro.queue.model.job_power_w`) and
+the scheduler never lets the summed controller power of running jobs exceed
+the configured :class:`~repro.hardware.budget.FridgeBudget` (default the
+paper's 10 W 4 K-stage budget).
+
+Admission order is deterministic for a fixed submission trace:
+
+1. **priority class** — ``interactive`` before ``batch`` before
+   ``deferrable``;
+2. **weighted fair share** — within a class, the session whose admitted
+   power (divided by its configured weight) is lowest goes first, so one
+   chatty client cannot starve the rest;
+3. **earliest due date** — within a session, explicit deadlines first
+   (jobs without one fall back to submission time, i.e. FIFO);
+4. **submission sequence** — the final, total tie-break.
+
+A non-deferrable job that does not fit the remaining headroom *blocks* the
+walk (head-of-line, so it cannot be starved by smaller late arrivals); a
+deferrable job is *parked* instead — skipped, counted in the
+``queue.deferrals`` metric, and revisited every round until headroom frees.
+
+:class:`QueueService` drives the policy: each :meth:`~QueueService.tick`
+completes cache-hit jobs instantly against the shared
+:class:`~repro.runtime.store.ResultStore`, admits what fits, and executes
+admitted jobs through :func:`repro.runtime.jobs.execute_spec` — the same
+single execution door every other client of the repo uses — on a bounded
+thread pool.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from .. import telemetry
+from ..hardware.budget import FridgeBudget
+from ..runtime.jobs import execute_spec
+from ..runtime.store import ResultStore
+from .model import QueueJob, priority_rank
+from .store import QueueStore
+
+logger = logging.getLogger(__name__)
+
+#: Default worker threads executing admitted jobs.
+DEFAULT_QUEUE_WORKERS = 2
+
+
+def order_candidates(
+    jobs: Sequence[QueueJob],
+    usage: Mapping[str, float],
+    weights: Optional[Mapping[str, float]] = None,
+) -> List[QueueJob]:
+    """Queued jobs in deterministic admission order (see module docstring).
+
+    ``usage`` maps client session id to the controller power already
+    admitted on its behalf; ``weights`` optionally gives sessions a larger
+    fair share (default weight 1.0; weights must be positive).
+    """
+    weights = weights or {}
+
+    def fair_share(job: QueueJob) -> float:
+        weight = float(weights.get(job.session, 1.0))
+        if weight <= 0:
+            raise ValueError(f"fair-share weight of session '{job.session}' must be > 0")
+        return usage.get(job.session, 0.0) / weight
+
+    return sorted(
+        jobs,
+        key=lambda job: (
+            priority_rank(job.priority),
+            fair_share(job),
+            job.effective_due(),
+            job.seq,
+        ),
+    )
+
+
+class QueueService:
+    """The daemon's engine: crash recovery, admission, and execution.
+
+    Parameters
+    ----------
+    store:
+        The durable queue.
+    results:
+        Shared content-addressed result store — the same directory the
+        sweep engine and :class:`~repro.primitives.session.Session` use, so
+        a queued job whose key is already cached completes without running,
+        and locally-run jobs hit results the daemon computed.
+    budget:
+        Fridge power budget admissions are checked against (default: the
+        paper's 10 W).
+    max_workers:
+        Concurrent job executions (thread pool size, also the admission
+        concurrency cap).
+    runner:
+        Execution hook ``(job) -> result_dict-or-None`` used by tests to
+        observe scheduling without paying for real compilations; ``None``
+        (production) executes the job's spec through
+        :func:`repro.runtime.jobs.execute_spec`.
+    fair_share_weights:
+        Optional per-session fair-share weights (see
+        :func:`order_candidates`).
+    """
+
+    def __init__(
+        self,
+        store: QueueStore,
+        results: ResultStore,
+        budget: Optional[FridgeBudget] = None,
+        max_workers: int = DEFAULT_QUEUE_WORKERS,
+        runner: Optional[Callable[[QueueJob], Optional[Dict[str, object]]]] = None,
+        fair_share_weights: Optional[Mapping[str, float]] = None,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.store = store
+        self.results = results
+        self.budget = budget if budget is not None else FridgeBudget()
+        self.max_workers = max_workers
+        self._runner = runner
+        self.fair_share_weights = dict(fair_share_weights or {})
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, float] = {}
+        self._usage: Dict[str, float] = {}
+        self.peak_power_w = 0.0
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        store.ensure_layout()
+
+    # -- power accounting -----------------------------------------------------------
+
+    def power_in_flight(self) -> float:
+        """Summed priced power of currently admitted jobs (watts)."""
+        with self._lock:
+            return sum(self._inflight.values())
+
+    def _power_add(self, job: QueueJob) -> None:
+        with self._lock:
+            self._inflight[job.job_id] = job.power_w
+            total = sum(self._inflight.values())
+            self.peak_power_w = max(self.peak_power_w, total)
+            self._usage[job.session] = self._usage.get(job.session, 0.0) + job.power_w
+        telemetry.gauge("queue.power_in_flight").set(total)
+        telemetry.gauge("queue.power_in_flight_peak").set(self.peak_power_w)
+
+    def _power_remove(self, job_id: str) -> None:
+        with self._lock:
+            self._inflight.pop(job_id, None)
+            total = sum(self._inflight.values())
+        telemetry.gauge("queue.power_in_flight").set(total)
+
+    # -- admission ------------------------------------------------------------------
+
+    def admissible(self, queued: Sequence[QueueJob]) -> List[QueueJob]:
+        """The jobs to admit right now, in order (pure policy, no side effects).
+
+        Walks the deterministic candidate order, admitting while the fridge
+        budget and the worker cap allow.  A non-deferrable job that does not
+        fit blocks everything behind it; deferrable jobs are parked and
+        counted.
+        """
+        with self._lock:
+            headroom = self.budget.power_w - sum(self._inflight.values())
+            slots = self.max_workers - len(self._inflight)
+            usage = dict(self._usage)
+        admitted: List[QueueJob] = []
+        deferred = 0
+        for job in order_candidates(queued, usage, self.fair_share_weights):
+            if slots <= 0:
+                break
+            if job.power_w > headroom:
+                if job.priority != "deferrable":
+                    break  # head-of-line: hold the budget for this job
+                deferred += 1
+                continue  # park the deferrable job until headroom frees
+            admitted.append(job)
+            headroom -= job.power_w
+            slots -= 1
+            usage[job.session] = usage.get(job.session, 0.0) + job.power_w
+        if deferred:
+            telemetry.counter("queue.deferrals").inc(deferred)
+        return admitted
+
+    def tick(self) -> List[QueueJob]:
+        """One scheduling round; returns the jobs admitted (and started).
+
+        Cache-hit jobs (result key already in the shared store) complete
+        instantly without claiming a worker or budget headroom.
+        """
+        queued = self.store.jobs("queued")
+        pending: List[QueueJob] = []
+        for job in queued:
+            if self.results.get(job.result_key) is not None:
+                self._finish_cached(job)
+            else:
+                pending.append(job)
+        admitted: List[QueueJob] = []
+        for job in self.admissible(pending):
+            with telemetry.span(
+                "queue.admit",
+                job_id=job.job_id,
+                benchmark=job.benchmark,
+                priority=job.priority,
+                power_w=job.power_w,
+            ):
+                try:
+                    claimed = self.store.claim(job)
+                except LookupError:
+                    continue  # cancelled or claimed elsewhere between scans
+            self._power_add(claimed)
+            telemetry.histogram("queue.wait_s").observe(
+                max(0.0, time.time() - claimed.submitted_at)
+            )
+            admitted.append(claimed)
+            self._submit(claimed)
+        telemetry.gauge("queue.depth").set(len(pending) - len(admitted))
+        return admitted
+
+    def _finish_cached(self, job: QueueJob) -> None:
+        """Complete a queued job off the shared result cache (no execution)."""
+        try:
+            claimed = self.store.claim(job)
+            self.store.finish(claimed)
+        except LookupError:
+            return
+        telemetry.counter("queue.cache_hits").inc()
+
+    # -- execution ------------------------------------------------------------------
+
+    def _submit(self, job: QueueJob) -> None:
+        if self._runner is not None and self._executor is None and self.max_workers == 1:
+            # Inline mode (tests): run synchronously for determinism.
+            self._run_job(job)
+            return
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-queue"
+            )
+        self._executor.submit(self._run_job, job)
+
+    def _run_job(self, job: QueueJob) -> None:
+        """Execute one claimed job and record its terminal state."""
+        try:
+            with telemetry.span(
+                "queue.execute",
+                job_id=job.job_id,
+                benchmark=job.benchmark,
+                priority=job.priority,
+                session=job.session,
+                power_w=job.power_w,
+            ):
+                if self._runner is not None:
+                    result = self._runner(job)
+                else:
+                    result = execute_spec(job.to_spec(), key=job.result_key).as_dict()
+                if result is not None:
+                    self.results.put(job.result_key, result)
+            self.store.finish(job)
+            telemetry.counter("queue.completed").inc()
+        except LookupError:
+            logger.warning("job %s lost its running entry; dropping", job.job_id)
+        except BaseException as error:  # noqa: BLE001 - daemon must survive any job
+            telemetry.counter("queue.failed").inc()
+            try:
+                self.store.fail(job, f"{type(error).__name__}: {error}")
+            except LookupError:
+                pass
+        finally:
+            self._power_remove(job.job_id)
+            self._wake.set()
+
+    # -- daemon loop ----------------------------------------------------------------
+
+    def wake(self) -> None:
+        """Nudge the loop (called by the HTTP server after a submission)."""
+        self._wake.set()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._wake.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def serve_loop(self, poll_interval_s: float = 0.5) -> None:
+        """Run recovery once, then schedule until :meth:`stop` is called."""
+        self.store.recover()
+        while not self._stop.is_set():
+            self.tick()
+            self._wake.wait(poll_interval_s)
+            self._wake.clear()
+        self.drain()
+
+    def drain(self, wait: bool = True) -> None:
+        """Shut the worker pool down (letting started jobs finish)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Live scheduler accounting merged over the durable store's."""
+        stats = self.store.stats()
+        with self._lock:
+            inflight = dict(self._inflight)
+            usage = dict(self._usage)
+            peak = self.peak_power_w
+        stats.update(
+            {
+                "budget_w": self.budget.power_w,
+                "power_in_flight_w": round(sum(inflight.values()), 9),
+                "peak_power_in_flight_w": round(peak, 9),
+                "max_workers": self.max_workers,
+                "session_usage_w": {k: round(v, 9) for k, v in sorted(usage.items())},
+                "deferrals": int(telemetry.counter("queue.deferrals").value),
+                "cache_hits": int(telemetry.counter("queue.cache_hits").value),
+            }
+        )
+        return stats

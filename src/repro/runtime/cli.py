@@ -221,6 +221,12 @@ def build_cache_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None, metavar="B",
         help="keep at most B bytes of entries (oldest evicted first)",
     )
+    prune.add_argument(
+        "--queue-root", default=None, metavar="DIR",
+        help="queue root whose advisory lock the prune takes (default: "
+        "$REPRO_QUEUE_ROOT or ~/.repro/queue); entries of queued/running "
+        "jobs are never evicted",
+    )
     return parser
 
 
@@ -248,10 +254,18 @@ def cache_main(argv: Sequence[str]) -> int:
     if args.action == "prune":
         if args.max_entries is None and args.max_bytes is None:
             parser.error("prune needs --max-entries and/or --max-bytes")
+        # Serialize against a live repro serve daemon: the prune runs under
+        # the queue store's advisory transition lock, and the result entries
+        # of queued/running jobs are exempt from eviction (S6).
+        from ..queue.store import QueueStore, queue_lock
+
+        queue_store = QueueStore(args.queue_root)
         try:
-            removed = store.prune(
-                max_entries=args.max_entries, max_bytes=args.max_bytes
-            )
+            with queue_lock(queue_store.root):
+                keep = queue_store.active_result_keys()
+                removed = store.prune(
+                    max_entries=args.max_entries, max_bytes=args.max_bytes, keep=keep
+                )
         except ValueError as error:
             parser.error(str(error))
         stats = store.stats()
@@ -374,6 +388,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "telemetry":
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..queue.cli import serve_main  # deferred: pulls in the queue stack
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "queue":
+        from ..queue.cli import queue_main  # deferred: pulls in the queue stack
+
+        return queue_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

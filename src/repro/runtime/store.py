@@ -15,7 +15,7 @@ import logging
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from .. import telemetry
 
@@ -144,6 +144,7 @@ class ResultStore:
         self,
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = None,
+        keep: Optional[Iterable[str]] = None,
     ) -> List[str]:
         """Evict oldest entries until both limits hold; returns removed keys.
 
@@ -151,12 +152,20 @@ class ResultStore:
         prune is deterministic for a given on-disk state).  ``None`` leaves
         a limit unenforced; calling with neither limit is a no-op.  Limits
         must be non-negative — ``max_entries=0`` empties the store.
+
+        ``keep`` names keys that must survive the prune no matter their age
+        — the queue CLI passes the active (queued/running) jobs' result
+        keys, so pruning a store a live daemon is executing into can never
+        evict an entry a job is about to read or write.  Protected entries
+        still count toward the limits, so a prune may end above its limits
+        when everything old is protected.
         """
         for name, limit in (("max_entries", max_entries), ("max_bytes", max_bytes)):
             if limit is not None and limit < 0:
                 raise ValueError(f"{name} must be >= 0, got {limit}")
         if max_entries is None and max_bytes is None:
             return []
+        protected = frozenset(keep or ())
         aged = []
         for path in self._entry_paths():
             try:
@@ -173,6 +182,8 @@ class ResultStore:
             over_bytes = max_bytes is not None and total_bytes > max_bytes
             if not over_entries and not over_bytes:
                 break
+            if key in protected:
+                continue
             if self.discard(key):
                 removed.append(key)
             entries -= 1

@@ -1,0 +1,122 @@
+"""Tests for queue job records, wire payloads, and power pricing."""
+
+import pytest
+
+from repro.backends import get_backend
+from repro.queue.model import (
+    PRIORITIES,
+    QueueJob,
+    build_job,
+    job_power_w,
+    priority_rank,
+    spec_from_payload,
+    spec_payload,
+)
+from repro.runtime.jobs import job_key
+from repro.runtime.spec import CompileOptions, ExperimentSpec, FidelityOptions
+
+KEY = "ab" + "0" * 62
+
+
+def make_spec(**overrides):
+    defaults = dict(benchmark="bv", num_qubits=6, seed=3)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestSpecPayload:
+    def test_roundtrip_preserves_job_key(self):
+        spec = make_spec(
+            compile_options=CompileOptions(opt_level=2),
+            fidelity=FidelityOptions(trajectories=10, max_qubits=8),
+        )
+        restored = spec_from_payload(spec_payload(spec))
+        assert job_key(restored) == job_key(spec)
+        assert restored.benchmark == spec.benchmark
+        assert restored.fidelity == spec.fidelity
+
+    def test_roundtrip_through_json(self):
+        import json
+
+        spec = make_spec()
+        payload = json.loads(json.dumps(spec_payload(spec)))
+        assert job_key(spec_from_payload(payload)) == job_key(spec)
+
+    def test_user_circuit_roundtrip(self):
+        from repro.circuits.circuit import QuantumCircuit
+
+        circuit = QuantumCircuit(3, name="mine")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        spec = make_spec(benchmark="", circuit=circuit, num_qubits=3)
+        restored = spec_from_payload(spec_payload(spec))
+        assert restored.circuit is not None
+        assert job_key(restored) == job_key(spec)
+
+
+class TestPriorities:
+    def test_rank_order(self):
+        ranks = [priority_rank(p) for p in PRIORITIES]
+        assert ranks == sorted(ranks)
+        assert priority_rank("interactive") < priority_rank("batch")
+        assert priority_rank("batch") < priority_rank("deferrable")
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValueError, match="unknown priority"):
+            priority_rank("urgent")
+
+
+class TestJobPower:
+    def test_pricing_uses_cost_model(self):
+        backend = get_backend("digiq-opt8")
+        power = job_power_w(backend, 16)
+        assert power > 0
+        assert job_power_w(backend, 32) > power  # wider jobs cost more
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            job_power_w(get_backend("digiq-opt8"), 0)
+
+
+class TestQueueJob:
+    def job(self, **overrides):
+        defaults = dict(
+            job_id="j1", seq=1, spec={"benchmark": "bv"}, result_key=KEY, power_w=1.0
+        )
+        defaults.update(overrides)
+        return QueueJob(**defaults)
+
+    def test_dict_roundtrip(self):
+        job = self.job(priority="interactive", session="alice", due_at=12.5)
+        assert QueueJob.from_dict(job.as_dict()) == job
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown state"):
+            self.job(state="paused")
+        with pytest.raises(ValueError, match="unknown priority"):
+            self.job(priority="urgent")
+        with pytest.raises(ValueError, match="power_w"):
+            self.job(power_w=-1.0)
+
+    def test_effective_due_falls_back_to_submission(self):
+        job = self.job(submitted_at=100.0)
+        assert job.effective_due() == 100.0
+        assert self.job(submitted_at=100.0, due_at=50.0).effective_due() == 50.0
+
+    def test_moved_changes_state_only(self):
+        job = self.job()
+        moved = job.moved("running", owner_pid=42)
+        assert moved.state == "running" and moved.owner_pid == 42
+        assert moved.job_id == job.job_id and not job.is_terminal
+        assert moved.moved("done").is_terminal
+
+
+class TestBuildJob:
+    def test_builds_priced_queued_job(self):
+        spec = make_spec()
+        job = build_job(spec, "j7", 7, priority="deferrable", session="bob", due_in_s=5.0)
+        assert job.state == "queued" and job.seq == 7
+        assert job.result_key == job_key(spec)
+        assert job.power_w == pytest.approx(job_power_w(spec.backend, spec.num_qubits))
+        assert job.due_at == pytest.approx(job.submitted_at + 5.0)
+        assert job.to_spec().benchmark == "bv"

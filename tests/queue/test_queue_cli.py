@@ -1,0 +1,202 @@
+"""Tests for the repro serve / repro queue CLI and cache-prune integration."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.queue.cli import build_serve_parser, queue_main
+from repro.queue.model import QueueJob
+from repro.queue.scheduler import QueueService
+from repro.queue.server import QueueHTTPServer
+from repro.queue.store import QueueStore
+from repro.runtime.cli import cache_main, main as runtime_main
+from repro.runtime.store import ResultStore
+
+KEY_A = "ab" + "0" * 62
+KEY_B = "cd" + "1" * 62
+
+
+@pytest.fixture
+def daemon(tmp_path, monkeypatch):
+    """In-thread daemon advertised via daemon.json; CLI discovers it."""
+    root = tmp_path / "queue"
+    monkeypatch.setenv("REPRO_QUEUE_ROOT", str(root))
+    store = QueueStore(root)
+    service = QueueService(
+        store, ResultStore(tmp_path / "cache"), max_workers=2
+    )
+    httpd = QueueHTTPServer(("127.0.0.1", 0), service)
+    url = f"http://127.0.0.1:{httpd.server_address[1]}"
+    store.write_daemon({"pid": os.getpid(), "url": url})
+    threads = [
+        threading.Thread(target=httpd.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True),
+        threading.Thread(target=service.serve_loop, kwargs={"poll_interval_s": 0.05}, daemon=True),
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        yield url, service
+    finally:
+        service.stop()
+        httpd.shutdown()
+        httpd.server_close()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.port == 0 and args.host == "127.0.0.1"
+        assert args.budget_w is None and args.trace is None
+
+    def test_dispatched_from_runtime_main(self, capsys):
+        with pytest.raises(SystemExit):
+            runtime_main(["serve", "--no-such-flag"])
+
+
+class TestQueueCli:
+    def test_no_daemon_is_a_clean_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_QUEUE_ROOT", str(tmp_path / "nowhere"))
+        assert queue_main(["stats"]) == 1
+        assert "no live repro serve daemon" in capsys.readouterr().err
+
+    def test_submit_wait_roundtrip(self, daemon, capsys):
+        code = runtime_main(
+            [
+                "queue", "submit", "--benchmark", "bv", "--qubits", "5",
+                "--seed", "21", "--wait", "--timeout", "120", "--format", "json",
+            ]
+        )
+        assert code == 0
+        # --wait prints two JSON documents: the job record, then the result
+        decoder = json.JSONDecoder()
+        text = capsys.readouterr().out.strip()
+        docs = []
+        index = 0
+        while index < len(text):
+            doc, end = decoder.raw_decode(text, index)
+            docs.append(doc)
+            index = end
+            while index < len(text) and text[index] in "\n\r ":
+                index += 1
+        assert docs[0]["state"] == "queued" or docs[0]["state"] == "done"
+        assert docs[-1]["row"]["benchmark"] == "bv"
+
+    def test_submit_status_collect_cancel(self, daemon, capsys):
+        url, service = daemon
+        # park a deferrable job over the budget so status/cancel see 'queued'
+        assert queue_main(
+            [
+                "submit", "--benchmark", "bv", "--backend", "cryo-cmos-grid",
+                "--qubits", "1000", "--priority", "deferrable",
+                "--session", "alice", "--due-in", "60", "--format", "json",
+            ]
+        ) == 0
+        job = json.loads(capsys.readouterr().out)
+        assert job["state"] == "queued" and job["power_w"] > service.budget.power_w
+
+        assert queue_main(["status", job["job_id"], "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["session"] == "alice"
+
+        assert queue_main(["cancel", job["job_id"], "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["state"] == "cancelled"
+        # a second cancel is idempotent (the JobHandle.cancel contract)
+        assert queue_main(["cancel", job["job_id"]]) == 0
+        capsys.readouterr()
+
+    def test_collect_timeout(self, daemon, capsys):
+        assert queue_main(
+            [
+                "submit", "--benchmark", "bv", "--backend", "cryo-cmos-grid",
+                "--qubits", "1000", "--priority", "deferrable", "--format", "json",
+            ]
+        ) == 0
+        job = json.loads(capsys.readouterr().out)
+        assert queue_main(["collect", job["job_id"], "--timeout", "0.2"]) == 1
+        assert "did not finish" in capsys.readouterr().err
+        queue_main(["cancel", job["job_id"]])
+        capsys.readouterr()
+
+    def test_stats_agree_with_endpoint(self, daemon, capsys):
+        """`repro queue stats` reports exactly what GET /queue/stats serves."""
+        url, service = daemon
+        from repro.queue.client import QueueClient
+
+        assert queue_main(["stats", "--format", "json"]) == 0
+        cli_stats = json.loads(capsys.readouterr().out)
+        http_stats = QueueClient(url=url).stats()
+        # live gauges can move between the two reads; the durable and
+        # configuration fields must agree exactly
+        for field in ("root", "budget_w", "max_workers", "depths"):
+            assert cli_stats[field] == http_stats[field]
+
+    def test_stats_human_format(self, daemon, capsys):
+        assert queue_main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "budget" in out and "depths" in out
+
+
+class TestCachePruneQueueSafety:
+    def test_prune_protects_active_jobs(self, tmp_path, capsys):
+        """`repro cache prune` never evicts a queued/running job's entry."""
+        cache = ResultStore(tmp_path / "cache")
+        cache.put(KEY_A, {"row": {}, "key": KEY_A})
+        cache.put(KEY_B, {"row": {}, "key": KEY_B})
+        queue_store = QueueStore(tmp_path / "queue")
+        queue_store.submit(
+            lambda job_id, seq: QueueJob(
+                job_id=job_id, seq=seq, spec={}, result_key=KEY_A, power_w=1.0
+            )
+        )
+        code = cache_main(
+            [
+                "prune", "--max-entries", "0",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--queue-root", str(tmp_path / "queue"),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert cache.get(KEY_A) is not None  # active job's entry survived
+        assert cache.get(KEY_B) is None  # everything else was evicted
+
+    def test_prune_waits_for_queue_lock(self, tmp_path):
+        """The prune serializes on the queue store's advisory lock."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = tmp_path / "queue"
+        QueueStore(root).ensure_layout()
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        holder = (
+            "import fcntl, sys, time\n"
+            f"handle = open({str(root / 'queue.lock')!r}, 'a+')\n"
+            "fcntl.flock(handle.fileno(), fcntl.LOCK_EX)\n"
+            "print('locked', flush=True)\n"
+            "time.sleep(1.0)\n"
+            "print(time.time(), flush=True)\n"
+        )
+        env = {**os.environ, "PYTHONPATH": src}
+        process = subprocess.Popen(
+            [sys.executable, "-c", holder], stdout=subprocess.PIPE, env=env
+        )
+        assert process.stdout.readline().strip() == b"locked"
+        import time as _time
+
+        start = _time.time()
+        code = cache_main(
+            [
+                "prune", "--max-entries", "0",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--queue-root", str(root),
+            ]
+        )
+        elapsed = _time.time() - start
+        process.wait(timeout=10.0)
+        process.stdout.close()
+        assert code == 0
+        assert elapsed >= 0.5  # blocked until the holder released the lock

@@ -1,0 +1,243 @@
+"""Tests for power-aware admission scheduling and the QueueService engine."""
+
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.hardware.budget import FridgeBudget
+from repro.queue.model import QueueJob
+from repro.queue.scheduler import QueueService, order_candidates
+from repro.queue.store import QueueStore
+from repro.runtime.store import ResultStore
+
+
+def key_for(seq):
+    return f"{seq:02x}" + "0" * 62
+
+
+def fake_job(seq, power_w=1.0, priority="batch", session="s", due_at=None, submitted_at=None):
+    return QueueJob(
+        job_id=f"j{seq:06d}-test",
+        seq=seq,
+        spec={"benchmark": "bv"},
+        result_key=key_for(seq),
+        power_w=power_w,
+        priority=priority,
+        session=session,
+        submitted_at=float(seq) if submitted_at is None else submitted_at,
+        due_at=due_at,
+    )
+
+
+def enqueue(store, **kwargs):
+    """Durably submit one synthetic job (store assigns id and seq)."""
+    def _build(job_id, seq):
+        job = fake_job(seq, **kwargs)
+        return QueueJob.from_dict({**job.as_dict(), "job_id": job_id})
+
+    return store.submit(_build)
+
+
+def service(tmp_path, budget_w=10.0, max_workers=1, runner=None, weights=None):
+    return QueueService(
+        QueueStore(tmp_path / "queue"),
+        ResultStore(tmp_path / "cache"),
+        budget=FridgeBudget(power_w=budget_w),
+        max_workers=max_workers,
+        runner=runner if runner is not None else (lambda job: {"row": {}, "key": job.result_key}),
+        fair_share_weights=weights,
+    )
+
+
+class TestOrderCandidates:
+    def test_priority_classes_dominate(self):
+        jobs = [
+            fake_job(1, priority="deferrable"),
+            fake_job(2, priority="batch"),
+            fake_job(3, priority="interactive"),
+        ]
+        ordered = order_candidates(jobs, usage={})
+        assert [j.priority for j in ordered] == ["interactive", "batch", "deferrable"]
+
+    def test_fair_share_prefers_lighter_session(self):
+        jobs = [fake_job(1, session="greedy"), fake_job(2, session="idle")]
+        ordered = order_candidates(jobs, usage={"greedy": 5.0})
+        assert [j.session for j in ordered] == ["idle", "greedy"]
+
+    def test_weights_scale_usage(self):
+        jobs = [fake_job(1, session="heavy"), fake_job(2, session="light")]
+        # heavy has used more power, but its 10x weight makes its share smaller
+        ordered = order_candidates(
+            jobs, usage={"heavy": 4.0, "light": 1.0}, weights={"heavy": 10.0}
+        )
+        assert [j.session for j in ordered] == ["heavy", "light"]
+        with pytest.raises(ValueError, match="weight"):
+            order_candidates(jobs, usage={}, weights={"heavy": 0.0})
+
+    def test_edd_within_class_then_seq(self):
+        jobs = [
+            fake_job(1, submitted_at=50.0),              # falls back to submission
+            fake_job(2, submitted_at=60.0, due_at=10.0),  # explicit early deadline
+            fake_job(3, submitted_at=50.0),              # FIFO tie -> seq order
+        ]
+        ordered = order_candidates(jobs, usage={})
+        assert [j.seq for j in ordered] == [2, 1, 3]
+
+    def test_deterministic_under_fixed_trace(self):
+        jobs = [
+            fake_job(seq, priority=p, session=s, power_w=w)
+            for seq, (p, s, w) in enumerate(
+                [
+                    ("batch", "a", 1.0),
+                    ("interactive", "b", 2.0),
+                    ("deferrable", "a", 0.5),
+                    ("batch", "b", 1.5),
+                    ("interactive", "a", 1.0),
+                ]
+            )
+        ]
+        first = [j.seq for j in order_candidates(jobs, usage={"a": 1.0})]
+        for _ in range(5):
+            again = [j.seq for j in order_candidates(list(reversed(jobs)), usage={"a": 1.0})]
+            assert again == first
+
+
+class TestAdmission:
+    def test_ten_watt_budget_never_oversubscribed(self, tmp_path):
+        svc = service(tmp_path, budget_w=10.0, max_workers=8, runner=lambda job: None)
+        queued = [fake_job(seq, power_w=6.0) for seq in range(1, 4)]
+        admitted = svc.admissible(queued)
+        assert [j.seq for j in admitted] == [1]  # 6 + 6 > 10
+
+    def test_non_deferrable_blocks_head_of_line(self, tmp_path):
+        svc = service(tmp_path, budget_w=10.0, max_workers=8)
+        queued = [
+            fake_job(1, power_w=8.0),
+            fake_job(2, power_w=11.0),  # batch, does not fit: blocks the walk
+            fake_job(3, power_w=1.0),
+        ]
+        assert [j.seq for j in svc.admissible(queued)] == [1]
+
+    def test_deferrable_parks_and_walk_continues(self, tmp_path):
+        svc = service(tmp_path, budget_w=10.0, max_workers=8)
+        before = telemetry.counter("queue.deferrals").value
+        queued = [
+            fake_job(1, power_w=8.0, priority="batch"),
+            fake_job(2, power_w=5.0, priority="deferrable"),  # parked
+            fake_job(3, power_w=1.0, priority="deferrable"),  # still fits
+        ]
+        assert [j.seq for j in svc.admissible(queued)] == [1, 3]
+        assert telemetry.counter("queue.deferrals").value == before + 1
+
+    def test_worker_slots_cap_admission(self, tmp_path):
+        svc = service(tmp_path, budget_w=100.0, max_workers=2)
+        queued = [fake_job(seq) for seq in range(1, 5)]
+        assert len(svc.admissible(queued)) == 2
+
+
+class TestQueueServiceTick:
+    def test_inline_tick_runs_to_done(self, tmp_path):
+        executed = []
+        svc = service(
+            tmp_path, runner=lambda job: executed.append(job.job_id) or {"r": 1}
+        )
+        job = enqueue(svc.store, power_w=2.0)
+        admitted = svc.tick()
+        assert [j.job_id for j in admitted] == [job.job_id]
+        assert executed == [job.job_id]
+        assert svc.store.get(job.job_id).state == "done"
+        assert svc.results.get(job.result_key) == {"r": 1}
+        assert svc.power_in_flight() == 0.0
+        assert svc.peak_power_w == pytest.approx(2.0)
+
+    def test_cache_hit_completes_without_running(self, tmp_path):
+        executed = []
+        svc = service(tmp_path, runner=lambda job: executed.append(job.job_id))
+        job = enqueue(svc.store)
+        svc.results.put(job.result_key, {"row": {"cached": True}})
+        before = telemetry.counter("queue.cache_hits").value
+        assert svc.tick() == []
+        assert executed == []
+        assert svc.store.get(job.job_id).state == "done"
+        assert telemetry.counter("queue.cache_hits").value == before + 1
+
+    def test_failed_job_records_error(self, tmp_path):
+        def explode(job):
+            raise RuntimeError("bad trajectory")
+
+        svc = service(tmp_path, runner=explode)
+        job = enqueue(svc.store)
+        svc.tick()
+        got = svc.store.get(job.job_id)
+        assert got.state == "failed"
+        assert "bad trajectory" in got.error
+        assert svc.power_in_flight() == 0.0
+
+    def test_deferrable_waits_for_headroom_then_runs(self, tmp_path):
+        """The queue-smoke scenario: over-budget deferrable runs only after."""
+        order = []
+        svc = service(tmp_path, budget_w=10.0, runner=lambda job: order.append(job.seq) or {})
+        big = enqueue(svc.store, power_w=8.0, priority="batch")
+        parked = enqueue(svc.store, power_w=7.0, priority="deferrable")
+        svc.tick()  # inline: runs big to completion, parks the deferrable
+        assert svc.store.get(big.job_id).state == "done"
+        assert svc.store.get(parked.job_id).state == "queued"
+        svc.tick()  # headroom freed: the deferrable runs now
+        assert svc.store.get(parked.job_id).state == "done"
+        assert order == [big.seq, parked.seq]
+
+    def test_tick_skips_jobs_cancelled_between_scans(self, tmp_path):
+        svc = service(tmp_path)
+        job = enqueue(svc.store)
+        svc.store.cancel(job.job_id)
+        assert svc.tick() == []
+        assert svc.store.get(job.job_id).state == "cancelled"
+
+
+class TestConcurrentBudget:
+    def test_power_in_flight_gauge_never_exceeds_budget(self, tmp_path):
+        """Jobs summing over 10 W never run simultaneously (gauge-asserted)."""
+        release = threading.Event()
+        peaks = []
+
+        def blocking_runner(job):
+            peaks.append(telemetry.gauge("queue.power_in_flight").value)
+            release.wait(10.0)
+            return {}
+
+        svc = service(tmp_path, budget_w=10.0, max_workers=4, runner=blocking_runner)
+        first = enqueue(svc.store, power_w=6.0)
+        second = enqueue(svc.store, power_w=6.0)
+        svc.tick()  # admits exactly one: 6 + 6 > 10
+        deadline = time.monotonic() + 5.0
+        while not peaks and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert svc.power_in_flight() == pytest.approx(6.0)
+        assert telemetry.gauge("queue.power_in_flight").value == pytest.approx(6.0)
+        assert svc.tick() == []  # still no headroom for the second job
+        release.set()
+        deadline = time.monotonic() + 5.0
+        while svc.power_in_flight() > 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        svc.tick()  # now the second one goes
+        deadline = time.monotonic() + 5.0
+        while svc.store.get(second.job_id).state != "done" and time.monotonic() < deadline:
+            time.sleep(0.01)
+        svc.drain()
+        assert svc.store.get(first.job_id).state == "done"
+        assert svc.store.get(second.job_id).state == "done"
+        assert max(peaks) <= 10.0  # the gauge never saw an over-budget sum
+        assert svc.peak_power_w <= 10.0
+        stats = svc.stats()
+        assert stats["peak_power_in_flight_w"] <= stats["budget_w"]
+
+    def test_stats_merges_store_and_scheduler(self, tmp_path):
+        svc = service(tmp_path, budget_w=10.0)
+        enqueue(svc.store, power_w=1.5, session="alice")
+        svc.tick()
+        stats = svc.stats()
+        assert stats["budget_w"] == 10.0
+        assert stats["depths"]["done"] == 1
+        assert stats["session_usage_w"]["alice"] == pytest.approx(1.5)

@@ -1,0 +1,191 @@
+"""Tests for the HTTP daemon and QueueClient/RemoteJobHandle contract."""
+
+import json
+import threading
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.queue.client import QueueClient, QueueServerError, discover_url
+from repro.queue.scheduler import QueueService
+from repro.queue.server import QueueHTTPServer
+from repro.queue.store import QueueStore
+from repro.runtime.jobs import job_key
+from repro.runtime.spec import ExperimentSpec
+from repro.runtime.store import ResultStore, canonical_json
+
+
+def make_spec(seed=0, **overrides):
+    defaults = dict(benchmark="bv", num_qubits=5, seed=seed)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """An in-thread daemon executing real specs; yields (client, service)."""
+    service = QueueService(
+        QueueStore(tmp_path / "queue"),
+        ResultStore(tmp_path / "cache"),
+        max_workers=2,
+    )
+    httpd = QueueHTTPServer(("127.0.0.1", 0), service)
+    url = f"http://127.0.0.1:{httpd.server_address[1]}"
+    threads = [
+        threading.Thread(target=httpd.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True),
+        threading.Thread(target=service.serve_loop, kwargs={"poll_interval_s": 0.05}, daemon=True),
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        yield QueueClient(url=url), service
+    finally:
+        service.stop()
+        httpd.shutdown()
+        httpd.server_close()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+
+class TestRoundTrip:
+    def test_submit_poll_collect(self, daemon):
+        client, service = daemon
+        spec = make_spec()
+        handle = client.submit(spec, priority="interactive", session="alice")
+        result = handle.result(timeout=60.0)
+        assert result.key == job_key(spec)
+        assert handle.status().value == "done"
+        assert handle.done() and not handle.cancelled()
+        # the daemon's row is byte-identical to a local execution of the spec
+        from repro.runtime.jobs import execute_spec
+
+        local = execute_spec(spec)
+        assert canonical_json(result.row) == canonical_json(local.row)
+
+    def test_reattach_from_another_client(self, daemon):
+        client, _ = daemon
+        submitted = client.submit(make_spec(seed=1))
+        other = QueueClient(url=client.url)  # a second "process"
+        result = other.handle(submitted.job_id).result(timeout=60.0)
+        assert result.key == job_key(make_spec(seed=1))
+
+    def test_repeat_submission_hits_result_cache(self, daemon):
+        client, _ = daemon
+        spec = make_spec(seed=2)
+        client.submit(spec).result(timeout=60.0)
+        again = client.submit(spec)
+        assert again.result(timeout=60.0).key == job_key(spec)
+        stats = client.stats()
+        assert stats["cache_hits"] >= 1
+
+    def test_stats_and_queue_accounting(self, daemon):
+        client, service = daemon
+        client.submit(make_spec(seed=3)).result(timeout=60.0)
+        http_stats = client.stats()
+        assert http_stats["depths"]["done"] >= 1
+        assert http_stats == json.loads(
+            json.dumps(service.stats(), sort_keys=True)
+        )  # the endpoint serves exactly the service's accounting
+
+
+class TestCancellation:
+    def test_cancel_parked_job_raises_cleanly(self, daemon):
+        client, service = daemon
+        # price the job over the budget so it parks in 'queued' forever
+        wide = make_spec(backend="cryo-cmos-grid", num_qubits=1000)
+        handle = client.submit(wide, priority="deferrable")
+        assert handle.job.power_w > service.budget.power_w
+        assert handle.cancel() is True
+        assert handle.cancel() is True  # idempotent
+        assert handle.status().value == "cancelled"
+        with pytest.raises(CancelledError):
+            handle.result(timeout=5.0)
+
+    def test_cancel_done_job_fails(self, daemon):
+        client, _ = daemon
+        handle = client.submit(make_spec(seed=4))
+        handle.result(timeout=60.0)
+        assert handle.cancel() is False
+
+
+class TestErrors:
+    def test_unknown_job_and_endpoint(self, daemon):
+        client, _ = daemon
+        with pytest.raises(QueueServerError, match="unknown job"):
+            client.job("nope")
+        with pytest.raises(QueueServerError, match="no such endpoint"):
+            client._expect(*client._request("GET", "/bogus"), 200)
+
+    def test_bad_submission_rejected(self, daemon):
+        client, _ = daemon
+        code, payload = client._request("POST", "/jobs", {"spec": {"benchmark": "nope"}})
+        assert code == 400 and "error" in payload
+        code, payload = client._request("POST", "/jobs", {})
+        assert code == 400
+
+    def test_result_pending_is_202(self, daemon):
+        client, service = daemon
+        wide = make_spec(backend="cryo-cmos-grid", num_qubits=1000)
+        handle = client.submit(wide, priority="deferrable")
+        assert client.result_row(handle.job_id) is None  # parked: still pending
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.2)
+        handle.cancel()
+
+    def test_discover_url_without_daemon(self, tmp_path):
+        with pytest.raises(QueueServerError, match="no live repro serve daemon"):
+            discover_url(tmp_path / "empty")
+
+    def test_unreachable_url(self):
+        client = QueueClient(url="http://127.0.0.1:9", timeout_s=0.5)
+        with pytest.raises(QueueServerError, match="cannot reach"):
+            client.stats()
+
+
+class TestSessionQueuePath:
+    def test_session_queue_results_byte_identical(self, daemon, tmp_path):
+        from repro.primitives.session import Session
+
+        client, _ = daemon
+        spec = make_spec(seed=5)
+        remote = Session(spec.backend, queue=client)
+        local = Session(spec.backend, store=ResultStore(tmp_path / "local"))
+        try:
+            remote_result, cached = remote.execute(spec)
+            assert cached is False
+            local_result, _ = local.execute(spec)
+            assert remote_result.key == local_result.key
+            assert canonical_json(remote_result.row) == canonical_json(local_result.row)
+            # second execute is a session-memory hit, no daemon traffic
+            again, cached = remote.execute(spec)
+            assert cached is True
+        finally:
+            remote.close()
+            local.close()
+
+    def test_sampler_queue_kwarg(self, daemon):
+        from repro.primitives.sampler import Sampler
+
+        client, _ = daemon
+        sampler = Sampler("digiq-opt8", queue=client)
+        assert sampler.session.queue is client
+        result = sampler.run("bv", shots=64, num_qubits=5, seed=6).result()
+        assert result.entries[0].counts
+        sampler.session.close()
+
+    def test_estimator_queue_kwarg(self, daemon):
+        from repro.primitives.estimator import Estimator
+
+        client, _ = daemon
+        estimator = Estimator("digiq-opt8", queue=client)
+        assert estimator.session.queue is client
+        estimator.session.close()
+
+    def test_queue_url_string_resolution(self, daemon):
+        from repro.primitives.session import Session
+
+        client, _ = daemon
+        session = Session("digiq-opt8", queue=client.url)
+        assert session.queue.url == client.url
+        session.close()
+        assert Session("digiq-opt8").queue is None

@@ -145,6 +145,17 @@ class TestStatsAndPrune:
         with pytest.raises(ValueError, match="max_bytes"):
             store.prune(max_bytes=-5)
 
+    def test_prune_keep_protects_entries_regardless_of_age(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._put(store, KEY_A, schema=5, mtime=100.0)  # oldest, but protected
+        self._put(store, KEY_B, schema=5, mtime=200.0)
+        removed = store.prune(max_entries=0, keep=[KEY_A])
+        assert removed == [KEY_B]
+        assert store.keys() == [KEY_A]
+        # with everything protected, a prune may legitimately end over-limit
+        assert store.prune(max_entries=0, keep=[KEY_A]) == []
+        assert store.keys() == [KEY_A]
+
 
 class TestCanonicalJson:
     def test_sorted_and_compact(self):
